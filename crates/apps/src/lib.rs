@@ -1,0 +1,43 @@
+//! # ask-apps — applications executing on the ASK service
+//!
+//! The paper integrates ASK with Spark and BytePS through thin plugins
+//! (§4). This crate provides the equivalent integrations for the
+//! reproduction, *actually executing* on the simulated stack:
+//!
+//! - [`mapreduce`]: a MapReduce engine whose shuffle+reduce is the ASK
+//!   service — mappers emit tuples, reduce partitions are ASK aggregation
+//!   tasks, and the switch merges most of the shuffle in flight;
+//! - [`streaming`]: tumbling-window aggregation of unbounded streams, one
+//!   ASK task per window over the persistent data channels — the
+//!   asynchronous real-time scenario that motivates key-value INA;
+//! - [`training`]: synchronous data-parallel SGD whose per-step gradient
+//!   all-reduce runs through ASK in value-stream mode, with quantized
+//!   arithmetic making the distributed run bit-identical to a sequential
+//!   reference.
+//!
+//! ```
+//! use ask_apps::mapreduce::{run_mapreduce, wordcount_mapper, MapReduceConfig};
+//!
+//! let inputs = vec![
+//!     vec!["a b a".to_string()],
+//!     vec!["b c".to_string()],
+//!     vec!["a".to_string()],
+//! ];
+//! let out = run_mapreduce(&MapReduceConfig::small(), inputs, wordcount_mapper);
+//! assert_eq!(out.result.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mapreduce;
+pub mod streaming;
+pub mod training;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::mapreduce::{run_mapreduce, wordcount_mapper, MapReduceConfig, MapReduceOutput};
+    pub use crate::streaming::{run_windows, StreamingConfig, WindowResult};
+    pub use crate::training::{
+        train_distributed, train_sequential, RegressionData, TrainerConfig, TrainingRun,
+    };
+}

@@ -1,0 +1,276 @@
+//! A MapReduce engine whose shuffle+reduce runs *through* the ASK service —
+//! the executing analog of the paper's Spark plugin (§4: "This plugin can
+//! convert data formats between the application and ASK").
+//!
+//! Mappers run on every machine and emit key-value tuples; the tuples are
+//! hash-partitioned over `reducers` reduce tasks, each of which is one ASK
+//! aggregation task received by a (round-robin assigned) reducer machine.
+//! The switch merges most tuples in flight; reducers only merge residuals
+//! and co-located data, and the final tables come back through the
+//! reliable fetch path.
+
+use ask::prelude::*;
+use ask_simnet::frame::NodeId;
+use ask_simnet::time::SimTime;
+use ask_wire::key::Key;
+use std::collections::HashMap;
+
+/// Configuration of a MapReduce job over ASK.
+#[derive(Debug, Clone)]
+pub struct MapReduceConfig {
+    /// Machines in the cluster (each runs mappers; reducers are assigned
+    /// round-robin over them).
+    pub machines: usize,
+    /// Parallel reduce tasks (each one ASK aggregation task).
+    pub reducers: usize,
+    /// The ASK service configuration.
+    pub ask: AskConfig,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl MapReduceConfig {
+    /// The same deployment with in-network aggregation disabled: the
+    /// controller denies every region, the shuffle crosses the network
+    /// untouched, and reducers aggregate everything on the host — the
+    /// executing "no-INA" baseline, identical in every other respect.
+    pub fn host_only(mut self) -> Self {
+        self.ask.force_host_only = true;
+        self
+    }
+
+    /// A small default: 3 machines, 4 reduce tasks.
+    pub fn small() -> Self {
+        let mut ask = AskConfig::paper_default();
+        // Four concurrent reduce tasks share the switch region space.
+        ask.region_aggregators = ask.aggregators_per_aa / 4;
+        MapReduceConfig {
+            machines: 3,
+            reducers: 4,
+            ask,
+            seed: 17,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.machines > 0, "need at least one machine");
+        assert!(self.reducers > 0, "need at least one reducer");
+        // Reduce tasks beyond the switch's memory plan are *allowed*: the
+        // controller denies them a region and they degrade to host-only
+        // aggregation, which is ASK's intended best-effort behaviour.
+    }
+}
+
+/// Result of a MapReduce run.
+#[derive(Debug, Clone)]
+pub struct MapReduceOutput {
+    /// The aggregated table, merged across all reduce partitions.
+    pub result: HashMap<Key, u32>,
+    /// Job completion time (last reduce task done).
+    pub jct: SimTime,
+    /// Switch counters merged over all reduce tasks.
+    pub switch: SwitchTaskStats,
+}
+
+/// Runs a MapReduce job: `mapper(machine, record)` is applied to every
+/// record of `inputs[machine]`, and the emitted tuples are aggregated by
+/// key through the ASK service.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != config.machines`, the configuration is
+/// inconsistent, or the simulation stalls.
+pub fn run_mapreduce<I, M>(
+    config: &MapReduceConfig,
+    inputs: Vec<Vec<I>>,
+    mapper: M,
+) -> MapReduceOutput
+where
+    M: Fn(usize, &I) -> Vec<KvTuple>,
+{
+    config.validate();
+    assert_eq!(inputs.len(), config.machines, "one input shard per machine");
+
+    let mut service = AskServiceBuilder::new(config.machines)
+        .config(config.ask.clone())
+        .seed(config.seed)
+        .build();
+    let hosts = service.hosts().to_vec();
+
+    // Submit one receive task per reduce partition, receivers round-robin.
+    let tasks: Vec<(TaskId, NodeId)> = (0..config.reducers)
+        .map(|r| (TaskId(r as u32), hosts[r % hosts.len()]))
+        .collect();
+    for &(task, receiver) in &tasks {
+        service.submit_task(task, receiver, &hosts);
+    }
+
+    // Map phase: run the mappers and hash-partition their output.
+    for (machine, shard) in inputs.into_iter().enumerate() {
+        let mut partitions: Vec<Vec<KvTuple>> = vec![Vec::new(); config.reducers];
+        for record in &shard {
+            for tuple in mapper(machine, record) {
+                let r = (tuple.key.hash64() >> 32) as usize % config.reducers;
+                partitions[r].push(tuple);
+            }
+        }
+        for (r, part) in partitions.into_iter().enumerate() {
+            service.submit_stream(tasks[r].0, hosts[machine], part);
+        }
+    }
+
+    // Reduce phase: drive the simulation until every partition completes.
+    let mut jct = SimTime::ZERO;
+    for &(task, receiver) in &tasks {
+        let done = service
+            .run_until_complete(task, receiver, u64::MAX)
+            .unwrap_or_else(|e| panic!("reduce task {task} stalled: {e}"));
+        jct = jct.max(done);
+    }
+
+    let mut result = HashMap::new();
+    let mut switch = SwitchTaskStats::default();
+    for &(task, receiver) in &tasks {
+        for (k, v) in service.result(task, receiver).expect("completed") {
+            // Partitions are disjoint by construction.
+            let prev = result.insert(k, v);
+            debug_assert!(prev.is_none(), "partitions must not overlap");
+        }
+        if let Some(s) = service.switch_stats(task) {
+            switch.merge(&s);
+        }
+    }
+    MapReduceOutput {
+        result,
+        jct,
+        switch,
+    }
+}
+
+/// The classic WordCount mapper: splits a line into words and emits
+/// `(word, 1)` for every word that forms a valid key.
+///
+/// The `&String` parameter matches the `Fn(usize, &I)` mapper signature for
+/// `I = String` exactly (a `&str` function would not satisfy that bound).
+#[allow(clippy::ptr_arg)]
+pub fn wordcount_mapper(_machine: usize, line: &String) -> Vec<KvTuple> {
+    line.split_whitespace()
+        .filter_map(|w| Key::from_str(w).ok())
+        .map(|k| KvTuple::new(k, 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ask::service::reference_aggregate;
+
+    fn lines(machine: usize) -> Vec<String> {
+        vec![
+            format!("the quick brown fox machine{machine}"),
+            "the lazy dog and the quick cat".to_string(),
+            "supercalifragilistic words are long words".to_string(),
+        ]
+    }
+
+    #[test]
+    fn wordcount_matches_reference() {
+        let config = MapReduceConfig::small();
+        let inputs: Vec<Vec<String>> = (0..3).map(lines).collect();
+        let expected = reference_aggregate(
+            inputs
+                .iter()
+                .enumerate()
+                .flat_map(|(m, shard)| shard.iter().flat_map(move |l| wordcount_mapper(m, l))),
+        );
+        let out = run_mapreduce(&config, inputs, wordcount_mapper);
+        assert_eq!(out.result, expected);
+        assert_eq!(out.result[&Key::from_str("the").unwrap()], 9);
+        assert_eq!(out.result[&Key::from_str("words").unwrap()], 6);
+        assert!(out.jct > SimTime::ZERO);
+    }
+
+    #[test]
+    fn partitions_cover_all_keys_disjointly() {
+        let config = MapReduceConfig {
+            reducers: 7,
+            ..MapReduceConfig::small()
+        };
+        let inputs: Vec<Vec<String>> = (0..3).map(lines).collect();
+        let out = run_mapreduce(&config, inputs.clone(), wordcount_mapper);
+        let expected = reference_aggregate(
+            inputs
+                .iter()
+                .enumerate()
+                .flat_map(|(m, shard)| shard.iter().flat_map(move |l| wordcount_mapper(m, l))),
+        );
+        assert_eq!(out.result.len(), expected.len());
+    }
+
+    #[test]
+    fn switch_participates_in_the_shuffle() {
+        let config = MapReduceConfig::small();
+        // A bigger synthetic input so the switch sees real traffic.
+        let inputs: Vec<Vec<String>> = (0..3)
+            .map(|m| {
+                (0..200)
+                    .map(|i| format!("w{} w{} w{}", i % 50, (i + m) % 50, i % 7))
+                    .collect()
+            })
+            .collect();
+        let out = run_mapreduce(&config, inputs, wordcount_mapper);
+        assert!(
+            out.switch.tuples_aggregated > 0,
+            "the shuffle must be in-network"
+        );
+        // With co-located reducers, part of the data never hits the wire at
+        // all, and the rest is mostly absorbed.
+        assert!(out.switch.tuple_aggregation_ratio() > 0.5);
+    }
+
+    #[test]
+    fn single_machine_single_reducer_degenerate_case() {
+        let mut config = MapReduceConfig::small();
+        config.machines = 1;
+        config.reducers = 1;
+        config.ask.region_aggregators = config.ask.aggregators_per_aa;
+        let out = run_mapreduce(&config, vec![lines(0)], wordcount_mapper);
+        assert_eq!(out.result[&Key::from_str("the").unwrap()], 3);
+    }
+
+    #[test]
+    fn host_only_backend_matches_ask_backend() {
+        let inputs: Vec<Vec<String>> = (0..3)
+            .map(|m| {
+                (0..100)
+                    .map(|i| format!("k{} k{} k{}", i % 40, (i + m) % 40, i % 9))
+                    .collect()
+            })
+            .collect();
+        let with_ina = run_mapreduce(&MapReduceConfig::small(), inputs.clone(), wordcount_mapper);
+        let host_only = run_mapreduce(
+            &MapReduceConfig::small().host_only(),
+            inputs,
+            wordcount_mapper,
+        );
+        assert_eq!(
+            with_ina.result, host_only.result,
+            "backends must agree exactly"
+        );
+        assert!(with_ina.switch.tuples_aggregated > 0);
+        assert_eq!(
+            host_only.switch.tuples_aggregated, 0,
+            "host-only backend never touches switch memory"
+        );
+        // (At this scale JCT is dominated by fixed round-trips, so the
+        // throughput benefit of INA is benchmarked at volume in
+        // `ask-bench`, not asserted here.)
+    }
+
+    #[test]
+    #[should_panic(expected = "one input shard per machine")]
+    fn shard_count_mismatch_rejected() {
+        let config = MapReduceConfig::small();
+        let _ = run_mapreduce(&config, vec![lines(0)], wordcount_mapper);
+    }
+}

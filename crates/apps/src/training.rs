@@ -1,0 +1,265 @@
+//! Data-parallel SGD through ASK — the executing analog of the paper's
+//! BytePS plugin (§5.6): gradients are value streams whose keys are tensor
+//! indices, aggregated in-network every step.
+//!
+//! The trainer solves a linear-regression problem with synchronous SGD:
+//! each worker computes a gradient over its data shard, quantizes it to
+//! the switch's 32-bit integer domain, and contributes it to one ASK
+//! aggregation task per step; the parameter server dequantizes the sum,
+//! applies the update, and redistributes the model. Quantized arithmetic
+//! makes the distributed run *bit-identical* to a sequential reference —
+//! which is exactly the correctness property in-network aggregation must
+//! preserve.
+
+use ask::prelude::*;
+use ask::valuestream::{decode_vector, encode_vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed-point scale for gradient quantization.
+const QUANT: f32 = 65536.0;
+
+fn quantize(g: f32) -> u32 {
+    (g * QUANT).round() as i32 as u32
+}
+
+fn dequantize(v: u32) -> f32 {
+    (v as i32) as f32 / QUANT
+}
+
+/// A synthetic linear-regression dataset, sharded across workers.
+#[derive(Debug, Clone)]
+pub struct RegressionData {
+    /// `shards[w]` is worker `w`'s list of `(features, target)` rows.
+    pub shards: Vec<Vec<(Vec<f32>, f32)>>,
+    /// The ground-truth weights the targets were generated from.
+    pub truth: Vec<f32>,
+}
+
+impl RegressionData {
+    /// Generates `rows_per_worker` noisy rows per worker for a `dims`-dim
+    /// ground-truth model.
+    pub fn synthetic(seed: u64, workers: usize, dims: usize, rows_per_worker: usize) -> Self {
+        assert!(workers > 0 && dims > 0 && rows_per_worker > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let shards = (0..workers)
+            .map(|_| {
+                (0..rows_per_worker)
+                    .map(|_| {
+                        let x: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                        let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum::<f32>()
+                            + rng.gen_range(-0.01..0.01);
+                        (x, y)
+                    })
+                    .collect()
+            })
+            .collect();
+        RegressionData { shards, truth }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// SGD steps to run.
+    pub steps: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// ASK service configuration.
+    pub ask: AskConfig,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// A small default configuration.
+    pub fn small() -> Self {
+        TrainerConfig {
+            steps: 30,
+            learning_rate: 0.3,
+            ask: AskConfig::paper_default(),
+            seed: 23,
+        }
+    }
+}
+
+/// Output of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingRun {
+    /// Final model weights.
+    pub weights: Vec<f32>,
+    /// Mean-squared-error after each step.
+    pub losses: Vec<f32>,
+    /// Total simulated time spent in gradient synchronization.
+    pub sync_time: ask_simnet::time::SimTime,
+    /// Fraction of gradient elements aggregated on the switch.
+    pub switch_absorption: f64,
+}
+
+fn mse(weights: &[f32], data: &RegressionData) -> f32 {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for shard in &data.shards {
+        for (x, y) in shard {
+            let pred: f32 = x.iter().zip(weights).map(|(a, b)| a * b).sum();
+            acc += (pred - y) * (pred - y);
+            n += 1;
+        }
+    }
+    acc / n as f32
+}
+
+/// One worker's quantized gradient of the MSE loss over its shard.
+fn local_gradient(weights: &[f32], shard: &[(Vec<f32>, f32)]) -> Vec<u32> {
+    let dims = weights.len();
+    let mut grad = vec![0.0f32; dims];
+    for (x, y) in shard {
+        let err: f32 = x.iter().zip(weights).map(|(a, b)| a * b).sum::<f32>() - y;
+        for d in 0..dims {
+            grad[d] += err * x[d];
+        }
+    }
+    grad.iter().map(|g| quantize(*g)).collect()
+}
+
+/// Applies one aggregated (summed, quantized) gradient.
+fn apply(weights: &mut [f32], summed: &[u32], lr: f32, total_rows: usize) {
+    for (w, &q) in weights.iter_mut().zip(summed) {
+        *w -= lr * dequantize(q) / total_rows as f32;
+    }
+}
+
+/// Trains through the ASK service: one aggregation task per step, each
+/// worker a sender, worker cluster plus one parameter-server host.
+///
+/// # Panics
+///
+/// Panics if the simulation stalls.
+pub fn train_distributed(config: &TrainerConfig, data: &RegressionData) -> TrainingRun {
+    let workers = data.shards.len();
+    let dims = data.truth.len();
+    let total_rows: usize = data.shards.iter().map(|s| s.len()).sum();
+
+    let mut service = AskServiceBuilder::new(workers + 1)
+        .config(config.ask.clone())
+        .seed(config.seed)
+        .build();
+    let hosts = service.hosts().to_vec();
+    let ps = hosts[0];
+
+    let mut weights = vec![0.0f32; dims];
+    let mut losses = Vec::with_capacity(config.steps);
+    let mut absorbed = 0u64;
+    let mut eligible = 0u64;
+    for step in 0..config.steps {
+        let task = TaskId(step as u32);
+        service.submit_task(task, ps, &hosts[1..]);
+        for (w, worker) in hosts[1..].iter().enumerate() {
+            let grad = local_gradient(&weights, &data.shards[w]);
+            service.submit_stream(task, *worker, encode_vector(&grad));
+        }
+        service
+            .run_until_complete(task, ps, u64::MAX)
+            .unwrap_or_else(|e| panic!("step {step} stalled: {e}"));
+        let summed = service.result(task, ps).expect("completed");
+        let vec_sum = decode_vector(&summed, dims).expect("dense gradient");
+        apply(&mut weights, &vec_sum, config.learning_rate, total_rows);
+        losses.push(mse(&weights, data));
+        if let Some(s) = service.switch_stats(task) {
+            absorbed += s.tuples_aggregated;
+            eligible += s.tuples_aggregated + s.tuples_forwarded;
+        }
+    }
+    TrainingRun {
+        weights,
+        losses,
+        sync_time: service.now(),
+        switch_absorption: if eligible == 0 {
+            0.0
+        } else {
+            absorbed as f64 / eligible as f64
+        },
+    }
+}
+
+/// Sequential reference: identical arithmetic without any network.
+pub fn train_sequential(config: &TrainerConfig, data: &RegressionData) -> TrainingRun {
+    let dims = data.truth.len();
+    let total_rows: usize = data.shards.iter().map(|s| s.len()).sum();
+    let mut weights = vec![0.0f32; dims];
+    let mut losses = Vec::with_capacity(config.steps);
+    for _ in 0..config.steps {
+        let mut summed = vec![0u32; dims];
+        for shard in &data.shards {
+            for (d, q) in local_gradient(&weights, shard).into_iter().enumerate() {
+                summed[d] = summed[d].wrapping_add(q);
+            }
+        }
+        apply(&mut weights, &summed, config.learning_rate, total_rows);
+        losses.push(mse(&weights, data));
+    }
+    TrainingRun {
+        weights,
+        losses,
+        sync_time: ask_simnet::time::SimTime::ZERO,
+        switch_absorption: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TrainerConfig, RegressionData) {
+        (
+            TrainerConfig::small(),
+            RegressionData::synthetic(1, 3, 24, 40),
+        )
+    }
+
+    #[test]
+    fn distributed_matches_sequential_bit_for_bit() {
+        let (config, data) = setup();
+        let dist = train_distributed(&config, &data);
+        let seq = train_sequential(&config, &data);
+        assert_eq!(dist.weights, seq.weights, "INA must not perturb training");
+        assert_eq!(dist.losses, seq.losses);
+    }
+
+    #[test]
+    fn training_converges_toward_truth() {
+        let (config, data) = setup();
+        let run = train_distributed(&config, &data);
+        let first = run.losses[0];
+        let last = *run.losses.last().unwrap();
+        assert!(last < first / 10.0, "loss {first} → {last}");
+        let err: f32 = run
+            .weights
+            .iter()
+            .zip(&data.truth)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(err < 0.2, "max weight error {err}");
+    }
+
+    #[test]
+    fn gradients_aggregate_on_switch() {
+        let (config, data) = setup();
+        let run = train_distributed(&config, &data);
+        assert!(
+            run.switch_absorption > 0.9,
+            "dense-index value streams aggregate in-network: {}",
+            run.switch_absorption
+        );
+        assert!(run.sync_time > ask_simnet::time::SimTime::ZERO);
+    }
+
+    #[test]
+    fn quantization_roundtrips() {
+        for g in [-3.5f32, -0.001, 0.0, 0.25, 7.75] {
+            let q = quantize(g);
+            assert!((dequantize(q) - g).abs() < 1.0 / QUANT);
+        }
+    }
+}

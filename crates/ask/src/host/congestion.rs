@@ -1,0 +1,150 @@
+//! Loss-based AIMD congestion window for data channels.
+//!
+//! The paper's §7 discussion notes ASK is compatible with loss-based INA
+//! congestion control (à la ATP), with one constraint: the congestion
+//! window must never exceed the reliability mechanism's maximum window `W`,
+//! or the switch's compact `seen` bitmap would misclassify packets.
+//!
+//! This is a minimal additive-increase / multiplicative-decrease controller
+//! driven by the signals the reliable sender already has: ACKs (increase)
+//! and retransmission timeouts (decrease).
+
+/// AIMD congestion window, bounded by `[1, max_window]`.
+#[derive(Debug, Clone)]
+pub struct CongestionWindow {
+    cwnd: f64,
+    max_window: usize,
+    /// Slow-start threshold; below it the window grows by 1 per ACK.
+    ssthresh: f64,
+    timeouts: u64,
+    /// ACKs since the last ECN-driven decrease (rate-limits reactions to
+    /// one per window, as DCTCP does per RTT).
+    acks_since_ecn: u64,
+    ecn_events: u64,
+}
+
+impl CongestionWindow {
+    /// Creates a controller capped at the reliability window `max_window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_window == 0`.
+    pub fn new(max_window: usize) -> Self {
+        assert!(max_window > 0, "window must be positive");
+        CongestionWindow {
+            cwnd: 2.0_f64.min(max_window as f64),
+            max_window,
+            ssthresh: max_window as f64 / 2.0,
+            timeouts: 0,
+            acks_since_ecn: 0,
+            ecn_events: 0,
+        }
+    }
+
+    /// Current window size in packets (≥ 1, ≤ `max_window`).
+    pub fn window(&self) -> usize {
+        (self.cwnd as usize).clamp(1, self.max_window)
+    }
+
+    /// Timeouts observed so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// ECN-driven decreases applied so far.
+    pub fn ecn_events(&self) -> u64 {
+        self.ecn_events
+    }
+
+    /// ECN echo received: gentle multiplicative decrease (×0.8), at most
+    /// once per window's worth of ACKs — a coarse DCTCP (§7's ECN-based
+    /// congestion control for INA).
+    pub fn on_ecn(&mut self) {
+        if self.acks_since_ecn < self.window() as u64 {
+            return;
+        }
+        self.acks_since_ecn = 0;
+        self.ecn_events += 1;
+        self.cwnd = (self.cwnd * 0.8).max(1.0);
+        self.ssthresh = self.cwnd;
+    }
+
+    /// ACK received: slow-start below `ssthresh`, then additive increase.
+    pub fn on_ack(&mut self) {
+        self.acks_since_ecn += 1;
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+        self.cwnd = self.cwnd.min(self.max_window as f64);
+    }
+
+    /// Retransmission timeout: multiplicative decrease.
+    pub fn on_timeout(&mut self) {
+        self.timeouts += 1;
+        self.ssthresh = (self.cwnd / 2.0).max(1.0);
+        self.cwnd = self.ssthresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_then_additive() {
+        let mut c = CongestionWindow::new(256);
+        assert_eq!(c.window(), 2);
+        for _ in 0..126 {
+            c.on_ack();
+        }
+        assert_eq!(c.window(), 128, "slow start: +1 per ACK");
+        let before = c.window();
+        for _ in 0..3 * before {
+            c.on_ack();
+        }
+        // Congestion avoidance: ~+1 per window's worth of ACKs.
+        assert!(
+            c.window() >= before + 2 && c.window() <= before + 4,
+            "got {} from {before}",
+            c.window()
+        );
+    }
+
+    #[test]
+    fn timeout_halves() {
+        let mut c = CongestionWindow::new(256);
+        for _ in 0..200 {
+            c.on_ack();
+        }
+        let before = c.window();
+        c.on_timeout();
+        assert!(c.window() <= before / 2 + 1);
+        assert_eq!(c.timeouts(), 1);
+    }
+
+    #[test]
+    fn never_exceeds_reliability_window() {
+        let mut c = CongestionWindow::new(8);
+        for _ in 0..1000 {
+            c.on_ack();
+        }
+        assert_eq!(c.window(), 8);
+    }
+
+    #[test]
+    fn never_below_one() {
+        let mut c = CongestionWindow::new(64);
+        for _ in 0..20 {
+            c.on_timeout();
+        }
+        assert_eq!(c.window(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = CongestionWindow::new(0);
+    }
+}

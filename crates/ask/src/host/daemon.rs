@@ -1,0 +1,983 @@
+//! The per-host ASK daemon (§3.1): control + data channels, the reliable
+//! sliding-window sender, the deduplicating receiver, and the aggregation
+//! task lifecycle (setup → streaming → FIN → fetch → teardown).
+
+use crate::config::AskConfig;
+use crate::host::congestion::CongestionWindow;
+use crate::host::packetizer::Packetizer;
+use crate::host::receiver::ReceiverWindow;
+use crate::host::trace::{TraceEvent, TraceLog};
+use crate::host::window::SenderWindow;
+use crate::stats::HostStats;
+use crate::switch::aggregator::Observation;
+use ask_simnet::frame::{Frame, NodeId};
+use ask_simnet::network::{Context, Node};
+use ask_simnet::time::{SimDuration, SimTime};
+use ask_wire::codec::{decode_envelope, encode_envelope, Envelope};
+use ask_wire::constants::PACKET_OVERHEAD;
+use ask_wire::key::Key;
+use ask_wire::packet::{
+    AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+pub use ask_wire::packet::CHANNEL_STRIDE;
+
+// Timer token kinds (packed into the token's top byte).
+const TK_PUMP: u64 = 1;
+const TK_RETX: u64 = 2;
+const TK_FETCH: u64 = 3;
+const TK_REGION: u64 = 4;
+const TK_ANNOUNCE: u64 = 5;
+
+fn token_pump(ch: usize) -> u64 {
+    (TK_PUMP << 56) | ch as u64
+}
+fn token_retx(ch: usize, seq: u64) -> u64 {
+    debug_assert!(seq < (1 << 48), "seq exceeds token space");
+    (TK_RETX << 56) | ((ch as u64) << 48) | seq
+}
+fn token_fetch(task: TaskId, fetch_seq: u32) -> u64 {
+    (TK_FETCH << 56) | ((task.0 as u64) << 24) | (fetch_seq as u64 & 0xff_ffff)
+}
+fn token_region(task: TaskId) -> u64 {
+    (TK_REGION << 56) | task.0 as u64
+}
+fn token_announce(task: TaskId) -> u64 {
+    (TK_ANNOUNCE << 56) | task.0 as u64
+}
+
+/// An item queued on a data channel, waiting for the window.
+#[derive(Debug)]
+enum QueuedItem {
+    Data {
+        task: TaskId,
+        dst: u32,
+        slots: Vec<Option<KvTuple>>,
+    },
+    LongKv {
+        task: TaskId,
+        dst: u32,
+        entries: Vec<KvTuple>,
+    },
+    Fin {
+        task: TaskId,
+        dst: u32,
+    },
+}
+
+#[derive(Debug)]
+struct ChannelState {
+    id: ChannelId,
+    window: SenderWindow,
+    queue: VecDeque<QueuedItem>,
+    busy_until: SimTime,
+    pump_armed: bool,
+    /// Unacked data/long-kv packets per task, gating the task's FIN.
+    outstanding: HashMap<TaskId, u64>,
+    /// Optional AIMD congestion window (§7 discussion), capped at `W`.
+    cc: Option<CongestionWindow>,
+}
+
+/// State of the receiver's (reliable) fetch exchange with the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchState {
+    Idle,
+    Pending {
+        fetch_seq: u32,
+        scope: FetchScope,
+        is_final: bool,
+    },
+}
+
+/// Completed aggregation result, exposed to the application.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The finished task.
+    pub task: TaskId,
+    /// Aggregated key → value (wrapping 32-bit sums).
+    pub entries: HashMap<Key, u32>,
+    /// Simulated completion time.
+    pub completed_at: SimTime,
+}
+
+#[derive(Debug)]
+struct RecvTask {
+    senders: HashSet<u32>,
+    /// The task's aggregation operator (applied to residual merges too).
+    op: AggregateOp,
+    /// `Some(true)` once a region is granted, `Some(false)` on deny
+    /// (host-only fallback), `None` while the controller RPC is in flight.
+    ina: Option<bool>,
+    residual: HashMap<Key, u32>,
+    fins: HashSet<u32>,
+    packets_since_swap: u64,
+    fetch_seq: u32,
+    fetch: FetchState,
+    want_final: bool,
+    result: Option<TaskResult>,
+}
+
+/// The ASK daemon running on one host, as a simulated network node.
+///
+/// A daemon plays both roles: *sender* for tasks submitted via
+/// [`AskDaemon::submit_send_task`] and *receiver* for tasks submitted via
+/// [`AskDaemon::submit_receive_task`]. All traffic goes through the directly
+/// attached [`crate::switch::AskSwitch`].
+#[derive(Debug)]
+pub struct AskDaemon {
+    config: AskConfig,
+    switch: NodeId,
+    me: Option<NodeId>,
+    packetizer: Packetizer,
+    channels: Vec<ChannelState>,
+    /// Sender side: task → receiver node learned from TaskAnnounce.
+    announced: HashMap<TaskId, u32>,
+    /// Sender side: tuples waiting for a TaskAnnounce.
+    pending_sends: HashMap<TaskId, Vec<KvTuple>>,
+    /// Sender side: tasks whose FIN has been acknowledged.
+    send_done: HashMap<TaskId, SimTime>,
+    /// Receiver side.
+    recv_windows: HashMap<ChannelId, ReceiverWindow>,
+    recv_tasks: HashMap<TaskId, RecvTask>,
+    stats: HostStats,
+    trace: TraceLog,
+    cpu_busy: SimDuration,
+    /// Tuples received for tasks this daemon never registered (misrouted).
+    orphan_tuples: u64,
+}
+
+impl AskDaemon {
+    /// Creates a daemon whose uplink is the switch node `switch`.
+    pub fn new(config: AskConfig, switch: NodeId) -> Self {
+        config.validate();
+        let packetizer = Packetizer::new(config.layout, config.long_kv_batch);
+        let trace = TraceLog::new(config.trace_capacity);
+        AskDaemon {
+            config,
+            switch,
+            me: None,
+            packetizer,
+            channels: Vec::new(),
+            announced: HashMap::new(),
+            pending_sends: HashMap::new(),
+            send_done: HashMap::new(),
+            recv_windows: HashMap::new(),
+            recv_tasks: HashMap::new(),
+            trace,
+            stats: HostStats::default(),
+            cpu_busy: SimDuration::ZERO,
+            orphan_tuples: 0,
+        }
+    }
+
+    fn ensure_init(&mut self, ctx: &Context<'_>) {
+        if self.me.is_some() {
+            return;
+        }
+        let me = ctx.me();
+        assert!(
+            (self.config.data_channels as u32) <= CHANNEL_STRIDE,
+            "too many data channels for the id stride"
+        );
+        self.me = Some(me);
+        self.channels = (0..self.config.data_channels)
+            .map(|i| ChannelState {
+                id: ChannelId(me.index() as u32 * CHANNEL_STRIDE + i as u32),
+                window: SenderWindow::new(self.config.window),
+                queue: VecDeque::new(),
+                busy_until: SimTime::ZERO,
+                pump_armed: false,
+                outstanding: HashMap::new(),
+                cc: self
+                    .config
+                    .congestion_control
+                    .then(|| CongestionWindow::new(self.config.window)),
+            })
+            .collect();
+    }
+
+    fn my_index(&self) -> u32 {
+        self.me.expect("daemon initialized").index() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Application-facing API (call through `Network::with_node`).
+    // ------------------------------------------------------------------
+
+    /// Submits an aggregation task with this host as the receiver.
+    ///
+    /// `senders` are the raw node indices of the sending hosts (which may
+    /// include this host for co-located senders). The daemon requests switch
+    /// memory and announces the task to every sender (§3.1 steps ①–⑤).
+    pub fn submit_receive_task(&mut self, task: TaskId, senders: &[u32], ctx: &mut Context<'_>) {
+        self.submit_receive_task_with_op(task, senders, AggregateOp::Sum, ctx);
+    }
+
+    /// [`AskDaemon::submit_receive_task`] with an explicit aggregation
+    /// operator, applied consistently by the switch ALU and the host's
+    /// residual merges.
+    pub fn submit_receive_task_with_op(
+        &mut self,
+        task: TaskId,
+        senders: &[u32],
+        op: AggregateOp,
+        ctx: &mut Context<'_>,
+    ) {
+        self.ensure_init(ctx);
+        assert!(
+            !self.recv_tasks.contains_key(&task),
+            "task {task} already submitted"
+        );
+        self.recv_tasks.insert(
+            task,
+            RecvTask {
+                senders: senders.iter().copied().collect(),
+                op,
+                ina: None,
+                residual: HashMap::new(),
+                fins: HashSet::new(),
+                packets_since_swap: 0,
+                fetch_seq: 0,
+                fetch: FetchState::Idle,
+                want_final: false,
+                result: None,
+            },
+        );
+        let req = AskPacket::Control(ControlMsg::RegionRequest { task, op });
+        self.send_to(self.switch.index() as u32, req, ctx);
+        ctx.set_timer(self.config.fetch_timeout, token_region(task));
+    }
+
+    /// Submits this host's key-value stream for `task`. The data is held
+    /// until the receiver's announcement arrives (which may already have
+    /// happened), then packetized onto a data channel.
+    pub fn submit_send_task(&mut self, task: TaskId, tuples: Vec<KvTuple>, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+        if let Some(&receiver) = self.announced.get(&task) {
+            self.dispatch_send(task, receiver, tuples, ctx);
+        } else {
+            self.pending_sends.entry(task).or_default().extend(tuples);
+        }
+    }
+
+    /// The completed result of a receive task, if finished.
+    pub fn task_result(&self, task: TaskId) -> Option<&TaskResult> {
+        self.recv_tasks.get(&task)?.result.as_ref()
+    }
+
+    /// True once this host's FIN for `task` was acknowledged.
+    pub fn send_complete(&self, task: TaskId) -> bool {
+        self.send_done.contains_key(&task)
+    }
+
+    /// When this host's FIN for `task` was acknowledged (end of its sending
+    /// phase), if it has been.
+    pub fn send_complete_at(&self, task: TaskId) -> Option<SimTime> {
+        self.send_done.get(&task).copied()
+    }
+
+    /// Aggregate daemon counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Total CPU time consumed by packet IO and host-side aggregation.
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.cpu_busy
+    }
+
+    /// Tuples that arrived for tasks this daemon never registered.
+    pub fn orphan_tuples(&self) -> u64 {
+        self.orphan_tuples
+    }
+
+    /// The protocol trace (empty unless
+    /// [`AskConfig::trace_capacity`](crate::config::AskConfig) is set).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // Sender side.
+    // ------------------------------------------------------------------
+
+    fn dispatch_send(
+        &mut self,
+        task: TaskId,
+        receiver: u32,
+        tuples: Vec<KvTuple>,
+        ctx: &mut Context<'_>,
+    ) {
+        if receiver == self.my_index() {
+            // Co-located sender: aggregate straight into the receiver's
+            // shared-memory table (§5.5 — "these mappers' data needs to be
+            // aggregated by the local reducers").
+            let n = tuples.len() as u64;
+            self.cpu_busy += self.config.cpu_per_tuple.saturating_mul(n);
+            self.stats.tuples_host_aggregated += n;
+            let Some(rt) = self.recv_tasks.get_mut(&task) else {
+                self.orphan_tuples += n;
+                return;
+            };
+            let op = rt.op;
+            for t in tuples {
+                rt.residual
+                    .entry(t.key)
+                    .and_modify(|v| *v = op.combine(*v, t.value))
+                    .or_insert(t.value);
+            }
+            rt.fins.insert(receiver);
+            self.check_completion(task, ctx);
+            return;
+        }
+        let stream = self.packetizer.packetize(tuples);
+        let ch_ix = (task.0 as usize) % self.channels.len();
+        {
+            let ch = &mut self.channels[ch_ix];
+            for slots in stream.data_payloads {
+                ch.queue.push_back(QueuedItem::Data {
+                    task,
+                    dst: receiver,
+                    slots,
+                });
+            }
+            for entries in stream.long_batches {
+                ch.queue.push_back(QueuedItem::LongKv {
+                    task,
+                    dst: receiver,
+                    entries,
+                });
+            }
+            ch.queue.push_back(QueuedItem::Fin {
+                task,
+                dst: receiver,
+            });
+        }
+        self.pump(ch_ix, ctx);
+    }
+
+    fn pump(&mut self, ch_ix: usize, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        loop {
+            let ch = &mut self.channels[ch_ix];
+            if ch.queue.is_empty() || !ch.window.can_send() {
+                return;
+            }
+            if let Some(cc) = &ch.cc {
+                if ch.window.in_flight() >= cc.window() {
+                    return; // congestion-limited; an ACK will re-pump
+                }
+            }
+            if ch.busy_until > now {
+                if !ch.pump_armed {
+                    ch.pump_armed = true;
+                    ctx.set_timer(ch.busy_until - now, token_pump(ch_ix));
+                }
+                return;
+            }
+            // FIN gate: a task's FIN goes out only after all of its data
+            // packets are acknowledged (§3.1 Task Teardown).
+            if let Some(QueuedItem::Fin { task, .. }) = ch.queue.front() {
+                if ch.outstanding.get(task).copied().unwrap_or(0) > 0 {
+                    return; // an ACK will re-pump
+                }
+            }
+            let item = ch.queue.pop_front().expect("non-empty");
+            let channel = ch.id;
+            let seq = SeqNo(ch.window.next_seq());
+            let (packet, dst, task, gates_fin) = match item {
+                QueuedItem::Data { task, dst, slots } => (
+                    AskPacket::Data(DataPacket {
+                        task,
+                        channel,
+                        seq,
+                        slots,
+                    }),
+                    dst,
+                    task,
+                    true,
+                ),
+                QueuedItem::LongKv { task, dst, entries } => (
+                    AskPacket::LongKv {
+                        task,
+                        channel,
+                        seq,
+                        entries,
+                    },
+                    dst,
+                    task,
+                    true,
+                ),
+                QueuedItem::Fin { task, dst } => {
+                    (AskPacket::Fin { task, channel, seq }, dst, task, false)
+                }
+            };
+            if gates_fin {
+                *ch.outstanding.entry(task).or_insert(0) += 1;
+            }
+            let ch = &mut self.channels[ch_ix];
+            ch.window.register(packet.clone(), dst, Some(task));
+            ch.busy_until = now + self.config.cpu_per_packet;
+            self.cpu_busy += self.config.cpu_per_packet;
+            self.stats.packets_sent += 1;
+            let wire = packet.wire_bytes(&self.config.layout);
+            self.stats.bytes_sent += wire as u64;
+            self.stats.goodput_bytes_sent += (wire - PACKET_OVERHEAD) as u64;
+            self.trace
+                .record(now, TraceEvent::PacketSent { channel, seq, task });
+            self.send_to(dst, packet, ctx);
+            ctx.set_timer(self.config.retransmit_timeout, token_retx(ch_ix, seq.0));
+        }
+    }
+
+    fn on_ack(&mut self, channel: ChannelId, seq: SeqNo, ece: bool, ctx: &mut Context<'_>) {
+        let Some(ch_ix) = self.local_channel(channel) else {
+            return; // not ours
+        };
+        let Some(inflight) = self.channels[ch_ix].window.ack(seq.0) else {
+            return; // duplicate ACK
+        };
+        self.stats.acks_received += 1;
+        self.trace
+            .record(ctx.now(), TraceEvent::AckReceived { channel, seq });
+        if ece {
+            self.stats.ecn_echoes += 1;
+        }
+        if let Some(cc) = &mut self.channels[ch_ix].cc {
+            cc.on_ack();
+            if ece {
+                cc.on_ecn();
+            }
+        }
+        match &inflight.packet {
+            AskPacket::Data { .. } | AskPacket::LongKv { .. } => {
+                if let Some(task) = inflight.task {
+                    let ch = &mut self.channels[ch_ix];
+                    let left = ch.outstanding.entry(task).or_insert(1);
+                    *left = left.saturating_sub(1);
+                }
+            }
+            AskPacket::Fin { task, .. } => {
+                self.send_done.insert(*task, ctx.now());
+            }
+            _ => {}
+        }
+        self.pump(ch_ix, ctx);
+    }
+
+    fn retransmit(&mut self, ch_ix: usize, seq: u64, ctx: &mut Context<'_>) {
+        let Some((packet, dst)) = self.channels[ch_ix]
+            .window
+            .retransmit(seq)
+            .map(|e| (e.packet.clone(), e.dst))
+        else {
+            return; // already acknowledged
+        };
+        self.stats.retransmissions += 1;
+        let channel = self.channels[ch_ix].id;
+        self.trace.record(
+            ctx.now(),
+            TraceEvent::Retransmitted {
+                channel,
+                seq: SeqNo(seq),
+            },
+        );
+        if let Some(cc) = &mut self.channels[ch_ix].cc {
+            cc.on_timeout();
+        }
+        self.cpu_busy += self.config.cpu_per_packet;
+        let wire = packet.wire_bytes(&self.config.layout);
+        self.stats.bytes_sent += wire as u64;
+        self.send_to(dst, packet, ctx);
+        ctx.set_timer(self.config.retransmit_timeout, token_retx(ch_ix, seq));
+    }
+
+    fn local_channel(&self, channel: ChannelId) -> Option<usize> {
+        let me = self.my_index();
+        let base = me * CHANNEL_STRIDE;
+        if channel.0 < base || channel.0 >= base + self.channels.len() as u32 {
+            return None;
+        }
+        Some((channel.0 - base) as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver side.
+    // ------------------------------------------------------------------
+
+    fn observe(&mut self, channel: ChannelId, seq: SeqNo) -> Observation {
+        let w = self.config.window;
+        self.recv_windows
+            .entry(channel)
+            .or_insert_with(|| ReceiverWindow::new(w))
+            .observe(seq.0)
+    }
+
+    fn merge_residual(&mut self, task: TaskId, tuples: impl IntoIterator<Item = KvTuple>) {
+        let Some(rt) = self.recv_tasks.get_mut(&task) else {
+            let n = tuples.into_iter().count() as u64;
+            self.orphan_tuples += n;
+            return;
+        };
+        let op = rt.op;
+        let mut n = 0u64;
+        for t in tuples {
+            rt.residual
+                .entry(t.key)
+                .and_modify(|v| *v = op.combine(*v, t.value))
+                .or_insert(t.value);
+            n += 1;
+        }
+        self.stats.tuples_host_aggregated += n;
+        self.cpu_busy += self.config.cpu_per_tuple.saturating_mul(n);
+    }
+
+    fn reply_ack(
+        &mut self,
+        dst: u32,
+        channel: ChannelId,
+        seq: SeqNo,
+        ece: bool,
+        ctx: &mut Context<'_>,
+    ) {
+        self.cpu_busy += self.config.cpu_per_packet;
+        self.send_to(dst, AskPacket::Ack { channel, seq, ece }, ctx);
+    }
+
+    fn maybe_swap(&mut self, task: TaskId, ctx: &mut Context<'_>) {
+        let threshold = self.config.swap_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let Some(rt) = self.recv_tasks.get_mut(&task) else {
+            return;
+        };
+        if rt.ina != Some(true) || rt.packets_since_swap < threshold || rt.fetch != FetchState::Idle
+        {
+            return;
+        }
+        rt.packets_since_swap = 0;
+        rt.fetch_seq += 1;
+        let fetch_seq = rt.fetch_seq;
+        rt.fetch = FetchState::Pending {
+            fetch_seq,
+            scope: FetchScope::Inactive,
+            is_final: false,
+        };
+        let sw = self.switch.index() as u32;
+        self.trace.record(ctx.now(), TraceEvent::SwapSent { task });
+        self.trace
+            .record(ctx.now(), TraceEvent::FetchSent { task, fetch_seq });
+        self.send_to(sw, AskPacket::Swap { task }, ctx);
+        self.send_to(
+            sw,
+            AskPacket::FetchRequest {
+                task,
+                scope: FetchScope::Inactive,
+                fetch_seq,
+            },
+            ctx,
+        );
+        ctx.set_timer(self.config.fetch_timeout, token_fetch(task, fetch_seq));
+    }
+
+    fn check_completion(&mut self, task: TaskId, ctx: &mut Context<'_>) {
+        let Some(rt) = self.recv_tasks.get_mut(&task) else {
+            return;
+        };
+        if rt.result.is_some() || !rt.fins.is_superset(&rt.senders) {
+            return;
+        }
+        match rt.ina {
+            Some(true) => {
+                if rt.fetch == FetchState::Idle {
+                    self.begin_final_fetch(task, ctx);
+                } else {
+                    rt.want_final = true;
+                }
+            }
+            Some(false) => self.complete(task, ctx),
+            None => {
+                // Region RPC still in flight; completion re-checked when the
+                // grant/deny arrives.
+                rt.want_final = true;
+            }
+        }
+    }
+
+    fn begin_final_fetch(&mut self, task: TaskId, ctx: &mut Context<'_>) {
+        let Some(rt) = self.recv_tasks.get_mut(&task) else {
+            return;
+        };
+        rt.fetch_seq += 1;
+        let fetch_seq = rt.fetch_seq;
+        rt.fetch = FetchState::Pending {
+            fetch_seq,
+            scope: FetchScope::All,
+            is_final: true,
+        };
+        rt.want_final = false;
+        self.trace
+            .record(ctx.now(), TraceEvent::FetchSent { task, fetch_seq });
+        self.send_to(
+            self.switch.index() as u32,
+            AskPacket::FetchRequest {
+                task,
+                scope: FetchScope::All,
+                fetch_seq,
+            },
+            ctx,
+        );
+        ctx.set_timer(self.config.fetch_timeout, token_fetch(task, fetch_seq));
+    }
+
+    fn complete(&mut self, task: TaskId, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        self.trace.record(now, TraceEvent::TaskCompleted { task });
+        let ina = {
+            let rt = self.recv_tasks.get_mut(&task).expect("task present");
+            debug_assert!(rt.result.is_none());
+            rt.result = Some(TaskResult {
+                task,
+                entries: std::mem::take(&mut rt.residual),
+                completed_at: now,
+            });
+            rt.ina == Some(true)
+        };
+        if ina {
+            // Return the switch memory region (§3.1 step ⑫).
+            self.send_to(
+                self.switch.index() as u32,
+                AskPacket::Control(ControlMsg::RegionRelease { task }),
+                ctx,
+            );
+        }
+    }
+
+    fn on_fetch_reply(
+        &mut self,
+        task: TaskId,
+        fetch_seq: u32,
+        entries: Vec<KvTuple>,
+        ctx: &mut Context<'_>,
+    ) {
+        let Some(rt) = self.recv_tasks.get_mut(&task) else {
+            return;
+        };
+        let FetchState::Pending {
+            fetch_seq: pending,
+            is_final,
+            ..
+        } = rt.fetch
+        else {
+            return; // stray or already-handled reply
+        };
+        if fetch_seq != pending {
+            return;
+        }
+        rt.fetch = FetchState::Idle;
+        let n = entries.len() as u64;
+        self.trace
+            .record(ctx.now(), TraceEvent::FetchMerged { task, entries: n });
+        self.stats.tuples_fetched += n;
+        self.merge_residual(task, entries);
+        let rt = self.recv_tasks.get_mut(&task).expect("task present");
+        let want_final = rt.want_final;
+        if is_final {
+            self.complete(task, ctx);
+        } else if want_final {
+            self.begin_final_fetch(task, ctx);
+        }
+    }
+
+    fn on_fetch_timer(&mut self, task: TaskId, fetch_seq_low: u32, ctx: &mut Context<'_>) {
+        let Some(rt) = self.recv_tasks.get(&task) else {
+            return;
+        };
+        let FetchState::Pending {
+            fetch_seq, scope, ..
+        } = rt.fetch
+        else {
+            return;
+        };
+        if fetch_seq & 0xff_ffff != fetch_seq_low {
+            return; // timer for an older fetch
+        }
+        self.send_to(
+            self.switch.index() as u32,
+            AskPacket::FetchRequest {
+                task,
+                scope,
+                fetch_seq,
+            },
+            ctx,
+        );
+        ctx.set_timer(self.config.fetch_timeout, token_fetch(task, fetch_seq));
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane.
+    // ------------------------------------------------------------------
+
+    fn on_region_reply(&mut self, task: TaskId, granted: bool, ctx: &mut Context<'_>) {
+        let senders: Vec<u32> = {
+            let Some(rt) = self.recv_tasks.get_mut(&task) else {
+                return;
+            };
+            if rt.ina.is_some() {
+                return; // duplicate reply
+            }
+            rt.ina = Some(granted);
+            self.trace
+                .record(ctx.now(), TraceEvent::RegionResolved { task, granted });
+            rt.senders.iter().copied().collect()
+        };
+        let me = self.my_index();
+        for sender in senders {
+            self.send_to(
+                sender,
+                AskPacket::Control(ControlMsg::TaskAnnounce { task, receiver: me }),
+                ctx,
+            );
+        }
+        // Announcements are not acknowledged; retry until the task finishes
+        // (idempotent at the senders) so a lost announce cannot hang it.
+        ctx.set_timer(
+            self.config.retransmit_timeout.saturating_mul(8),
+            token_announce(task),
+        );
+        // A co-located sender may already have recorded its FIN.
+        self.check_completion(task, ctx);
+    }
+
+    fn on_region_timer(&mut self, task: TaskId, ctx: &mut Context<'_>) {
+        let Some(rt) = self.recv_tasks.get(&task) else {
+            return;
+        };
+        if rt.ina.is_some() {
+            return; // reply arrived
+        }
+        let op = rt.op;
+        self.send_to(
+            self.switch.index() as u32,
+            AskPacket::Control(ControlMsg::RegionRequest { task, op }),
+            ctx,
+        );
+        ctx.set_timer(self.config.fetch_timeout, token_region(task));
+    }
+
+    fn on_announce_timer(&mut self, task: TaskId, ctx: &mut Context<'_>) {
+        let me = self.my_index();
+        let pending: Vec<u32> = {
+            let Some(rt) = self.recv_tasks.get(&task) else {
+                return;
+            };
+            if rt.result.is_some() {
+                return; // task finished; stop retrying
+            }
+            rt.senders.difference(&rt.fins).copied().collect()
+        };
+        for sender in pending {
+            self.send_to(
+                sender,
+                AskPacket::Control(ControlMsg::TaskAnnounce { task, receiver: me }),
+                ctx,
+            );
+        }
+        ctx.set_timer(
+            self.config.retransmit_timeout.saturating_mul(8),
+            token_announce(task),
+        );
+    }
+
+    fn on_announce(&mut self, task: TaskId, receiver: u32, ctx: &mut Context<'_>) {
+        self.announced.insert(task, receiver);
+        if let Some(tuples) = self.pending_sends.remove(&task) {
+            self.dispatch_send(task, receiver, tuples, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing.
+    // ------------------------------------------------------------------
+
+    fn send_to(&mut self, dst: u32, packet: AskPacket, ctx: &mut Context<'_>) {
+        let layout = self.config.layout;
+        let envelope = Envelope::new(self.my_index(), dst, packet);
+        let bytes = encode_envelope(&envelope, &layout);
+        let wire = envelope.wire_bytes(&layout);
+        // Everything leaves through the uplink to the switch.
+        let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
+    }
+}
+
+impl Node for AskDaemon {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+    }
+
+    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+        let ecn = frame.ecn_marked();
+        let Ok(envelope) = decode_envelope(frame.into_payload()) else {
+            return;
+        };
+        let src = envelope.src;
+        match envelope.packet {
+            AskPacket::Ack { channel, seq, ece } => self.on_ack(channel, seq, ece, ctx),
+            AskPacket::Data(pkt) => {
+                self.cpu_busy += self.config.cpu_per_packet;
+                match self.observe(pkt.channel, pkt.seq) {
+                    Observation::Stale => {}
+                    Observation::Duplicate => {
+                        self.stats.duplicates_dropped += 1;
+                        self.trace.record(
+                            ctx.now(),
+                            TraceEvent::DuplicateDropped {
+                                channel: pkt.channel,
+                                seq: pkt.seq,
+                            },
+                        );
+                        self.reply_ack(src, pkt.channel, pkt.seq, ecn, ctx);
+                    }
+                    Observation::First => {
+                        self.stats.packets_received += 1;
+                        self.trace.record(
+                            ctx.now(),
+                            TraceEvent::Received {
+                                channel: pkt.channel,
+                                seq: pkt.seq,
+                            },
+                        );
+                        let task = pkt.task;
+                        let tuples: Vec<KvTuple> = pkt.slots.into_iter().flatten().collect();
+                        self.merge_residual(task, tuples);
+                        self.reply_ack(src, pkt.channel, pkt.seq, ecn, ctx);
+                        if let Some(rt) = self.recv_tasks.get_mut(&task) {
+                            rt.packets_since_swap += 1;
+                        }
+                        self.maybe_swap(task, ctx);
+                    }
+                }
+            }
+            AskPacket::LongKv {
+                task,
+                channel,
+                seq,
+                entries,
+            } => {
+                self.cpu_busy += self.config.cpu_per_packet;
+                match self.observe(channel, seq) {
+                    Observation::Stale => {}
+                    Observation::Duplicate => {
+                        self.stats.duplicates_dropped += 1;
+                        self.reply_ack(src, channel, seq, ecn, ctx);
+                    }
+                    Observation::First => {
+                        self.stats.packets_received += 1;
+                        self.merge_residual(task, entries);
+                        self.reply_ack(src, channel, seq, ecn, ctx);
+                    }
+                }
+            }
+            AskPacket::Fin { task, channel, seq } => {
+                self.cpu_busy += self.config.cpu_per_packet;
+                match self.observe(channel, seq) {
+                    Observation::Stale => {}
+                    Observation::Duplicate => {
+                        self.reply_ack(src, channel, seq, ecn, ctx);
+                    }
+                    Observation::First => {
+                        let sender_host = channel.host();
+                        self.reply_ack(src, channel, seq, ecn, ctx);
+                        if let Some(rt) = self.recv_tasks.get_mut(&task) {
+                            rt.fins.insert(sender_host);
+                        }
+                        self.check_completion(task, ctx);
+                    }
+                }
+            }
+            AskPacket::FetchReply {
+                task,
+                fetch_seq,
+                entries,
+            } => self.on_fetch_reply(task, fetch_seq, entries, ctx),
+            AskPacket::Control(ControlMsg::RegionGrant { task, .. }) => {
+                self.on_region_reply(task, true, ctx)
+            }
+            AskPacket::Control(ControlMsg::RegionDeny { task }) => {
+                self.on_region_reply(task, false, ctx)
+            }
+            AskPacket::Control(ControlMsg::TaskAnnounce { task, receiver }) => {
+                self.on_announce(task, receiver, ctx)
+            }
+            // Packets a daemon never receives (switch-bound kinds).
+            AskPacket::Swap { .. }
+            | AskPacket::FetchRequest { .. }
+            | AskPacket::Control(
+                ControlMsg::RegionRequest { .. } | ControlMsg::RegionRelease { .. },
+            ) => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+        match token >> 56 {
+            TK_PUMP => {
+                let ch_ix = (token & 0xffff_ffff) as usize;
+                self.channels[ch_ix].pump_armed = false;
+                self.pump(ch_ix, ctx);
+            }
+            TK_RETX => {
+                let ch_ix = ((token >> 48) & 0xff) as usize;
+                let seq = token & 0xffff_ffff_ffff;
+                self.retransmit(ch_ix, seq, ctx);
+            }
+            TK_FETCH => {
+                let task = TaskId(((token >> 24) & 0xffff_ffff) as u32);
+                let fetch_seq_low = (token & 0xff_ffff) as u32;
+                self.on_fetch_timer(task, fetch_seq_low, ctx);
+            }
+            TK_REGION => {
+                self.on_region_timer(TaskId((token & 0xffff_ffff) as u32), ctx);
+            }
+            TK_ANNOUNCE => {
+                self.on_announce_timer(TaskId((token & 0xffff_ffff) as u32), ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_pack_and_unpack() {
+        let t = token_retx(3, 0x1234_5678);
+        assert_eq!(t >> 56, TK_RETX);
+        assert_eq!((t >> 48) & 0xff, 3);
+        assert_eq!(t & 0xffff_ffff_ffff, 0x1234_5678);
+
+        let t = token_fetch(TaskId(7), 42);
+        assert_eq!(t >> 56, TK_FETCH);
+        assert_eq!((t >> 24) & 0xffff_ffff, 7);
+        assert_eq!(t & 0xff_ffff, 42);
+
+        let t = token_pump(5);
+        assert_eq!(t >> 56, TK_PUMP);
+        assert_eq!(t & 0xffff_ffff, 5);
+    }
+
+    #[test]
+    fn channel_ids_are_per_host_unique() {
+        // host 3, 4 channels → ids 3*256 .. 3*256+3
+        let base = 3 * CHANNEL_STRIDE;
+        for i in 0..4 {
+            let id = ChannelId(base + i);
+            assert_eq!(id.0 / CHANNEL_STRIDE, 3, "host recoverable from id");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Host-side components: daemon, packetizer, sliding windows.
+
+pub mod congestion;
+pub mod daemon;
+pub mod packetizer;
+pub mod receiver;
+pub mod trace;
+pub mod window;
+
+pub use congestion::CongestionWindow;
+pub use trace::{TraceEvent, TraceLog};
+
+pub use daemon::{AskDaemon, TaskResult, CHANNEL_STRIDE};
+pub use packetizer::{PacketizedStream, Packetizer};
+pub use receiver::ReceiverWindow;
+pub use window::{InFlight, SenderWindow};

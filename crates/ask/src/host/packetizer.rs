@@ -1,0 +1,227 @@
+//! Sender-assisted addressing and packet construction (§3.2.2, §3.2.3).
+//!
+//! The packetizer classifies each key as short / medium / long, assigns
+//! short keys to one of the short slots and medium keys to one of the
+//! medium groups by an *ordered key-space partition* (`hash(key) % N`), and
+//! packs packets slot-by-slot so the same key always rides the same slot —
+//! and therefore always meets the same aggregator array on the switch,
+//! avoiding the single-key-multiple-spot problem.
+//!
+//! Long keys bypass the switch in dedicated batch packets.
+
+use ask_wire::key::KeyClass;
+use ask_wire::packet::{KvTuple, PacketLayout};
+use std::collections::VecDeque;
+
+/// Output of packetizing one task's key-value stream.
+#[derive(Debug, Clone, Default)]
+pub struct PacketizedStream {
+    /// Slot vectors for data packets, in send order.
+    pub data_payloads: Vec<Vec<Option<KvTuple>>>,
+    /// Long-key batches for bypass packets, in send order.
+    pub long_batches: Vec<Vec<KvTuple>>,
+}
+
+impl PacketizedStream {
+    /// Total packets (data + bypass).
+    pub fn packet_count(&self) -> usize {
+        self.data_payloads.len() + self.long_batches.len()
+    }
+
+    /// Total tuples across all packets.
+    pub fn tuple_count(&self) -> usize {
+        let in_data: usize = self
+            .data_payloads
+            .iter()
+            .map(|p| p.iter().filter(|s| s.is_some()).count())
+            .sum();
+        let in_long: usize = self.long_batches.iter().map(|b| b.len()).sum();
+        in_data + in_long
+    }
+
+    /// Mean occupied slots per data packet (Figure 8(b)'s metric).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.data_payloads.is_empty() {
+            return 0.0;
+        }
+        let occupied: usize = self
+            .data_payloads
+            .iter()
+            .map(|p| p.iter().filter(|s| s.is_some()).count())
+            .sum();
+        occupied as f64 / self.data_payloads.len() as f64
+    }
+
+    /// Per-packet occupied-slot counts (for occupancy CDFs).
+    pub fn occupancies(&self) -> Vec<usize> {
+        self.data_payloads
+            .iter()
+            .map(|p| p.iter().filter(|s| s.is_some()).count())
+            .collect()
+    }
+}
+
+/// Builds packets from key-value streams under a fixed [`PacketLayout`].
+#[derive(Debug, Clone)]
+pub struct Packetizer {
+    layout: PacketLayout,
+    long_kv_batch: usize,
+}
+
+impl Packetizer {
+    /// Creates a packetizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `long_kv_batch == 0`.
+    pub fn new(layout: PacketLayout, long_kv_batch: usize) -> Self {
+        assert!(long_kv_batch > 0, "long-kv batch must be positive");
+        Packetizer {
+            layout,
+            long_kv_batch,
+        }
+    }
+
+    /// The layout packets are built for.
+    pub fn layout(&self) -> &PacketLayout {
+        &self.layout
+    }
+
+    /// The slot a tuple's key maps to, or `None` if the key must bypass the
+    /// switch (long keys, or no slot of the right class exists).
+    pub fn slot_for(&self, tuple: &KvTuple) -> Option<usize> {
+        let l = &self.layout;
+        match tuple.key.class(l.medium_segments()) {
+            KeyClass::Short if l.short_slots() > 0 => {
+                Some((tuple.key.hash64() % l.short_slots() as u64) as usize)
+            }
+            KeyClass::Medium if l.medium_groups() > 0 => {
+                Some(l.short_slots() + (tuple.key.hash64() % l.medium_groups() as u64) as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Packs a stream of tuples into packets.
+    ///
+    /// Tuples within each slot keep their stream order; a packet takes the
+    /// next tuple from every non-empty slot queue, so skew shows up as blank
+    /// slots rather than reordering (§5.3, Figure 8(b)).
+    pub fn packetize<I>(&self, tuples: I) -> PacketizedStream
+    where
+        I: IntoIterator<Item = KvTuple>,
+    {
+        let slots = self.layout.slot_count();
+        let mut queues: Vec<VecDeque<KvTuple>> = vec![VecDeque::new(); slots];
+        let mut long_queue: Vec<KvTuple> = Vec::new();
+        for tuple in tuples {
+            match self.slot_for(&tuple) {
+                Some(s) => queues[s].push_back(tuple),
+                None => long_queue.push(tuple),
+            }
+        }
+
+        let mut out = PacketizedStream::default();
+        while queues.iter().any(|q| !q.is_empty()) {
+            let payload: Vec<Option<KvTuple>> = queues.iter_mut().map(|q| q.pop_front()).collect();
+            out.data_payloads.push(payload);
+        }
+        for chunk in long_queue.chunks(self.long_kv_batch) {
+            out.long_batches.push(chunk.to_vec());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ask_wire::key::Key;
+
+    fn kv(s: &str, v: u32) -> KvTuple {
+        KvTuple::new(Key::from_str(s).unwrap(), v)
+    }
+
+    fn packetizer() -> Packetizer {
+        Packetizer::new(PacketLayout::custom(4, 2, 2), 3)
+    }
+
+    #[test]
+    fn same_key_always_same_slot() {
+        let p = packetizer();
+        let s1 = p.slot_for(&kv("cat", 1)).unwrap();
+        let s2 = p.slot_for(&kv("cat", 99)).unwrap();
+        assert_eq!(s1, s2);
+        assert!(s1 < 4, "short keys go to short slots");
+        let m = p.slot_for(&kv("maples", 1)).unwrap();
+        assert!(m >= 4, "medium keys go to medium slots");
+    }
+
+    #[test]
+    fn long_keys_bypass() {
+        let p = packetizer();
+        assert_eq!(p.slot_for(&kv("waytoolongkey", 1)), None);
+        let out = p.packetize(vec![kv("waytoolongkey", 1); 7]);
+        assert!(out.data_payloads.is_empty());
+        assert_eq!(out.long_batches.len(), 3, "7 tuples in batches of 3");
+        assert_eq!(out.tuple_count(), 7);
+    }
+
+    #[test]
+    fn uniform_keys_fill_packets_densely() {
+        let p = Packetizer::new(PacketLayout::short_only(8), 8);
+        // Many distinct short keys spread uniformly over slots.
+        let tuples: Vec<KvTuple> = (0..8000)
+            .map(|i| KvTuple::new(Key::from_u64(i), 1))
+            .collect();
+        let out = p.packetize(tuples);
+        assert!(
+            out.mean_occupancy() > 7.0,
+            "uniform stream should nearly fill the 8 slots, got {}",
+            out.mean_occupancy()
+        );
+        assert_eq!(out.tuple_count(), 8000);
+    }
+
+    #[test]
+    fn single_hot_key_leaves_blanks() {
+        let p = Packetizer::new(PacketLayout::short_only(8), 8);
+        let out = p.packetize(vec![kv("hot", 1); 100]);
+        // All 100 tuples share one slot: 100 packets, each with 1 tuple.
+        assert_eq!(out.data_payloads.len(), 100);
+        assert!((out.mean_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_order_preserved_within_slot() {
+        let p = packetizer();
+        let out = p.packetize(vec![kv("cat", 1), kv("cat", 2), kv("cat", 3)]);
+        let slot = p.slot_for(&kv("cat", 0)).unwrap();
+        let values: Vec<u32> = out
+            .data_payloads
+            .iter()
+            .filter_map(|pl| pl[slot].as_ref().map(|t| t.value))
+            .collect();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn short_keys_bypass_when_no_short_slots() {
+        let p = Packetizer::new(PacketLayout::custom(0, 4, 2), 8);
+        assert_eq!(p.slot_for(&kv("cat", 1)), None, "no short slots → bypass");
+        assert!(p.slot_for(&kv("maples", 1)).is_some());
+    }
+
+    #[test]
+    fn packet_count_sums() {
+        let p = packetizer();
+        let out = p.packetize(vec![kv("cat", 1), kv("waytoolongkey", 2)]);
+        assert_eq!(out.packet_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_rejected() {
+        let _ = Packetizer::new(PacketLayout::paper_default(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Protocol event tracing.
+//!
+//! When enabled ([`crate::config::AskConfig::trace_capacity`] > 0), each
+//! daemon records its protocol-level actions into a bounded ring buffer —
+//! the moral equivalent of the counters-plus-logging a production daemon
+//! would expose. Tests use traces to assert *sequencing* properties the
+//! aggregate counters cannot express (an ACK is always preceded by its
+//! send; completion follows the region reply; retransmissions follow
+//! timeouts).
+
+use ask_simnet::time::SimTime;
+use ask_wire::packet::{ChannelId, SeqNo, TaskId};
+use std::collections::VecDeque;
+
+/// One recorded protocol action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// First transmission of a sequenced packet.
+    PacketSent {
+        /// Sending channel.
+        channel: ChannelId,
+        /// Assigned sequence number.
+        seq: SeqNo,
+        /// The owning task.
+        task: TaskId,
+    },
+    /// Timeout-driven retransmission.
+    Retransmitted {
+        /// Sending channel.
+        channel: ChannelId,
+        /// Retransmitted sequence number.
+        seq: SeqNo,
+    },
+    /// An ACK retired an in-flight packet.
+    AckReceived {
+        /// Acknowledged channel.
+        channel: ChannelId,
+        /// Acknowledged sequence number.
+        seq: SeqNo,
+    },
+    /// A data/long-kv/FIN packet was accepted by the receiver (first copy).
+    Received {
+        /// Originating channel.
+        channel: ChannelId,
+        /// Sequence number.
+        seq: SeqNo,
+    },
+    /// A duplicate arrival was discarded by the receiver window.
+    DuplicateDropped {
+        /// Originating channel.
+        channel: ChannelId,
+        /// Sequence number.
+        seq: SeqNo,
+    },
+    /// The controller granted (or denied) switch memory.
+    RegionResolved {
+        /// The task.
+        task: TaskId,
+        /// True for a grant, false for host-only fallback.
+        granted: bool,
+    },
+    /// A shadow-copy swap notification went to the switch.
+    SwapSent {
+        /// The task whose copies swap.
+        task: TaskId,
+    },
+    /// A fetch request went to the switch.
+    FetchSent {
+        /// The harvested task.
+        task: TaskId,
+        /// The fetch sequence number.
+        fetch_seq: u32,
+    },
+    /// A fetch reply was merged into the residual table.
+    FetchMerged {
+        /// The harvested task.
+        task: TaskId,
+        /// Entries merged.
+        entries: u64,
+    },
+    /// The aggregation task completed at this receiver.
+    TaskCompleted {
+        /// The finished task.
+        task: TaskId,
+    },
+}
+
+/// Bounded ring buffer of timestamped [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    ring: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log keeping at most `capacity` events (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// True if recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (dropping the oldest beyond capacity).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((at, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(task: u32) -> TraceEvent {
+        TraceEvent::TaskCompleted { task: TaskId(task) }
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.record(SimTime::from_nanos(i), ev(i as u32));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let tasks: Vec<u32> = log
+            .events()
+            .map(|(_, e)| match e {
+                TraceEvent::TaskCompleted { task } => task.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tasks, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut log = TraceLog::new(0);
+        log.record(SimTime::ZERO, ev(1));
+        assert!(log.is_empty());
+        assert!(!log.enabled());
+        assert_eq!(log.dropped(), 0);
+    }
+}

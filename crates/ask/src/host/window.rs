@@ -1,0 +1,179 @@
+//! The sender's sliding window (§3.3 "Host Sender").
+//!
+//! The sender keeps at most `W` unacknowledged packets in flight. ACKs —
+//! from the switch or from the receiver host — retire entries and allow new
+//! sends. Out-of-order ACKs never trigger retransmission (the two ACK
+//! sources naturally reorder); only the fine-grained timeout does.
+
+use ask_wire::packet::{AskPacket, TaskId};
+use std::collections::BTreeMap;
+
+/// One unacknowledged packet.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// The packet, kept verbatim for retransmission.
+    pub packet: AskPacket,
+    /// Destination node index.
+    pub dst: u32,
+    /// The task the packet belongs to (for FIN gating), if any.
+    pub task: Option<TaskId>,
+    /// Number of retransmissions so far.
+    pub retransmits: u32,
+}
+
+/// Sliding send window over one data channel's sequence space.
+#[derive(Debug)]
+pub struct SenderWindow {
+    w: u64,
+    next_seq: u64,
+    inflight: BTreeMap<u64, InFlight>,
+}
+
+impl SenderWindow {
+    /// Creates a window of size `w` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn new(w: usize) -> Self {
+        assert!(w > 0, "window must be positive");
+        SenderWindow {
+            w: w as u64,
+            next_seq: 0,
+            inflight: BTreeMap::new(),
+        }
+    }
+
+    /// True if the window permits transmitting the next sequence number:
+    /// `next_seq < oldest_unacked + W`.
+    pub fn can_send(&self) -> bool {
+        match self.inflight.keys().next() {
+            Some(&oldest) => self.next_seq < oldest + self.w,
+            None => true,
+        }
+    }
+
+    /// Number of unacknowledged packets.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The sequence number the next send will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Registers a fresh transmission, consuming the next sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full ([`SenderWindow::can_send`] is false).
+    pub fn register(&mut self, packet: AskPacket, dst: u32, task: Option<TaskId>) -> u64 {
+        assert!(self.can_send(), "window full");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight.insert(
+            seq,
+            InFlight {
+                packet,
+                dst,
+                task,
+                retransmits: 0,
+            },
+        );
+        seq
+    }
+
+    /// Retires `seq`; returns the entry if it was in flight (`None` for
+    /// duplicate ACKs).
+    pub fn ack(&mut self, seq: u64) -> Option<InFlight> {
+        self.inflight.remove(&seq)
+    }
+
+    /// Looks up an in-flight packet (for retransmission), bumping its
+    /// retransmit counter.
+    pub fn retransmit(&mut self, seq: u64) -> Option<&InFlight> {
+        let entry = self.inflight.get_mut(&seq)?;
+        entry.retransmits += 1;
+        Some(&*entry)
+    }
+
+    /// True once every transmission has been acknowledged.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ask_wire::packet::{ChannelId, SeqNo};
+
+    fn dummy_packet(seq: u64) -> AskPacket {
+        AskPacket::Ack {
+            channel: ChannelId(0),
+            seq: SeqNo(seq),
+            ece: false,
+        }
+    }
+
+    #[test]
+    fn window_blocks_at_w_unacked() {
+        let mut w = SenderWindow::new(4);
+        for i in 0..4 {
+            assert!(w.can_send());
+            assert_eq!(w.register(dummy_packet(i), 1, None), i);
+        }
+        assert!(!w.can_send());
+        assert_eq!(w.in_flight(), 4);
+    }
+
+    #[test]
+    fn acking_oldest_slides_window() {
+        let mut w = SenderWindow::new(2);
+        w.register(dummy_packet(0), 1, None);
+        w.register(dummy_packet(1), 1, None);
+        assert!(!w.can_send());
+        // Acking the *newest* does not slide (oldest still pins the window).
+        assert!(w.ack(1).is_some());
+        assert!(!w.can_send(), "seq 2 >= 0 + 2");
+        assert!(w.ack(0).is_some());
+        assert!(w.can_send());
+        assert!(w.is_idle());
+    }
+
+    #[test]
+    fn duplicate_ack_returns_none() {
+        let mut w = SenderWindow::new(2);
+        w.register(dummy_packet(0), 1, None);
+        assert!(w.ack(0).is_some());
+        assert!(w.ack(0).is_none());
+    }
+
+    #[test]
+    fn retransmit_counts() {
+        let mut w = SenderWindow::new(2);
+        w.register(dummy_packet(0), 7, Some(TaskId(3)));
+        assert_eq!(w.retransmit(0).unwrap().retransmits, 1);
+        assert_eq!(w.retransmit(0).unwrap().retransmits, 2);
+        let e = w.ack(0).unwrap();
+        assert_eq!(e.retransmits, 2);
+        assert_eq!(e.dst, 7);
+        assert_eq!(e.task, Some(TaskId(3)));
+        assert!(w.retransmit(0).is_none(), "acked packets are gone");
+    }
+
+    #[test]
+    #[should_panic(expected = "window full")]
+    fn register_past_full_panics() {
+        let mut w = SenderWindow::new(1);
+        w.register(dummy_packet(0), 1, None);
+        w.register(dummy_packet(1), 1, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = SenderWindow::new(0);
+    }
+}

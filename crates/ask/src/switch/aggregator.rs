@@ -1,0 +1,1054 @@
+//! The switch data-plane program: vectorized multi-key aggregation over
+//! two-dimensional aggregator arrays, per-flow reliability state, and the
+//! shadow-copy mechanism — all expressed as register accesses on an
+//! [`ask_pisa::pipeline::Pipeline`] so the PISA constraints are enforced.
+//!
+//! Pipeline memory map (stage → register arrays):
+//!
+//! ```text
+//! stage 0      task_table      (match: task → region, indicator index)
+//!              copy_indicator  (1 bit  × max_tasks)
+//!              max_seq         (64 bit × max_channels)
+//!              seen            (1 bit  × max_channels × W)   compact §3.3
+//! stage 1..    AA_0 .. AA_{N-1}, 4 per stage, 64-bit aggregators
+//!              (kPart = high 32 bits, vPart = low 32 bits; each AA holds
+//!              2 × aggregators_per_aa registers: two shadow copies, §3.4)
+//! last stage   PktState        (64 bit × max_channels × W)   §3.3
+//!              (the paper stores 32-bit bitmaps for its 32 AAs; we size
+//!              the register to the architecture's maximum width so chained
+//!              layouts up to 64 slots keep per-packet state)
+//! ```
+//!
+//! One [`process_data`](AggregatorEngine::process_data) call is one packet
+//! pass: dedup gate first, then one access per aggregator array in stage
+//! order, then the `PktState` read-or-write.
+
+use crate::config::AskConfig;
+use crate::stats::SwitchTaskStats;
+use ask_pisa::pipeline::{ArrayId, Pass, Pipeline};
+use ask_pisa::spec::PipelineSpec;
+use ask_pisa::table::TableId;
+use ask_wire::key::Key;
+use ask_wire::packet::{
+    AaRegion, AggregateOp, ChannelId, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
+};
+use std::collections::HashMap;
+
+/// Mixes a key hash into an aggregator index, decorrelated from the
+/// subspace-partition hash (which uses the raw `hash64`).
+fn index_hash(key: &Key) -> u64 {
+    // splitmix64 finalizer over the FNV hash.
+    let mut z = key.hash64().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of the dedup gate for one sequenced packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observation {
+    /// Behind the receive window; drop silently.
+    Stale,
+    /// First appearance; process normally.
+    First,
+    /// Retransmission; consult `PktState`.
+    Duplicate,
+}
+
+/// Verdict for one data packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataVerdict {
+    /// Stale packet, dropped without any response.
+    Stale,
+    /// Every tuple aggregated: drop the packet and ACK the sender.
+    FullyAggregated,
+    /// Residual tuples remain: forward this rewritten packet downstream.
+    Forward(DataPacket),
+}
+
+/// Where a claimed aggregator lives, for fast harvest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Claim {
+    /// `aa` is the short slot's AA index; `idx` the physical register index.
+    Short { aa: usize, idx: usize },
+    /// `group` is the medium group; `idx` the physical register index shared
+    /// by all `m` coalesced AAs.
+    Medium { group: usize, idx: usize },
+}
+
+#[derive(Debug)]
+struct TaskEntry {
+    region: AaRegion,
+    indicator_idx: usize,
+    receiver: u32,
+    /// Claims per shadow copy.
+    claims: [Vec<Claim>; 2],
+    /// Last served fetch sequence and its cached reply.
+    fetch_cache: Option<(u32, Vec<KvTuple>)>,
+    stats: SwitchTaskStats,
+}
+
+/// The switch aggregation engine. Pure computation — no networking — so
+/// benchmarks (e.g. Figure 9's prioritization sweep) can drive it directly.
+#[derive(Debug)]
+pub struct AggregatorEngine {
+    config: AskConfig,
+    pipeline: Pipeline,
+    aas: Vec<ArrayId>,
+    /// Match-action table mapping task id → (region base, region length,
+    /// copy-indicator index); the control plane installs an entry per
+    /// registered task ("the switch uses the task ID to identify the
+    /// aggregator memory region", §3.1).
+    task_table: TableId,
+    copy_indicator: ArrayId,
+    max_seq: ArrayId,
+    seen: ArrayId,
+    pkt_state: ArrayId,
+    tasks: HashMap<TaskId, TaskEntry>,
+    /// Counters of released tasks, kept for post-mortem inspection.
+    finished_stats: HashMap<TaskId, SwitchTaskStats>,
+    channel_slots: HashMap<ChannelId, usize>,
+    free_indicators: Vec<usize>,
+    /// Free `[base, len)` slices of the per-copy aggregator space.
+    free_regions: Vec<(u32, u32)>,
+    /// If set, only channels whose owning host is in this set get
+    /// reliability state and aggregation; other (cross-rack) channels are
+    /// pure-forwarded (§7 "Deployment in Multi-rack networks").
+    local_hosts: Option<std::collections::HashSet<u32>>,
+}
+
+impl AggregatorEngine {
+    /// Builds the engine, allocating all register arrays on a freshly
+    /// created pipeline sized from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent ([`AskConfig::validate`]) or the
+    /// layout cannot fit a Tofino3-like pipeline chain.
+    pub fn new(config: AskConfig) -> Self {
+        config.validate();
+        let n_aas = config.layout.aggregator_arrays();
+        let aa_stages = n_aas.div_ceil(4);
+        let stages_needed = 1 + aa_stages + 1;
+        let chain = stages_needed.div_ceil(16).max(1);
+        let mut pipeline = Pipeline::new(PipelineSpec::tofino3_chained(chain));
+
+        let task_table = pipeline
+            .alloc_table(0, config.max_tasks, 4)
+            .expect("task table fits stage 0");
+        let copy_indicator = pipeline
+            .alloc_array(0, config.max_tasks, 1)
+            .expect("copy indicator fits stage 0");
+        let max_seq = pipeline
+            .alloc_array(0, config.max_channels, 64)
+            .expect("max_seq fits stage 0");
+        let seen = pipeline
+            .alloc_array(0, config.max_channels * config.window, 1)
+            .expect("seen fits stage 0");
+
+        let mut aas = Vec::with_capacity(n_aas);
+        for i in 0..n_aas {
+            let stage = 1 + i / 4;
+            let id = pipeline
+                .alloc_array(stage, 2 * config.aggregators_per_aa, 64)
+                .unwrap_or_else(|e| panic!("AA_{i} does not fit stage {stage}: {e}"));
+            aas.push(id);
+        }
+        let pkt_state = pipeline
+            .alloc_array(1 + aa_stages, config.max_channels * config.window, 64)
+            .expect("PktState fits final stage");
+
+        let free_indicators = (0..config.max_tasks).rev().collect();
+        let free_regions = vec![(0, config.aggregators_per_aa as u32)];
+        AggregatorEngine {
+            config,
+            pipeline,
+            aas,
+            task_table,
+            copy_indicator,
+            max_seq,
+            seen,
+            pkt_state,
+            tasks: HashMap::new(),
+            finished_stats: HashMap::new(),
+            channel_slots: HashMap::new(),
+            free_indicators,
+            free_regions,
+            local_hosts: None,
+        }
+    }
+
+    /// Restricts reliability state and aggregation to channels owned by
+    /// `hosts` — the §7 top-of-rack deployment, where a ToR serves only its
+    /// own rack and cross-rack traffic bypasses it as plain forwarding.
+    pub fn set_local_hosts(&mut self, hosts: impl IntoIterator<Item = u32>) {
+        self.local_hosts = Some(hosts.into_iter().collect());
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &AskConfig {
+        &self.config
+    }
+
+    /// Per-task counters, surviving task release; `None` for unknown tasks.
+    pub fn task_stats(&self, task: TaskId) -> Option<SwitchTaskStats> {
+        self.tasks
+            .get(&task)
+            .map(|t| t.stats)
+            .or_else(|| self.finished_stats.get(&task).copied())
+    }
+
+    /// The raw node index registered as `task`'s receiver.
+    pub fn task_receiver(&self, task: TaskId) -> Option<u32> {
+        self.tasks.get(&task).map(|t| t.receiver)
+    }
+
+    /// Registers a task with the paper's default SUM operator.
+    /// Returns `None` (deny) if switch memory or task table is exhausted.
+    pub fn register_task(&mut self, task: TaskId, receiver: u32) -> Option<AaRegion> {
+        self.register_task_with_op(task, receiver, AggregateOp::Sum)
+    }
+
+    /// Registers a task with an explicit aggregation operator; the operator
+    /// rides in the task's match-table action data, selecting the stateful
+    /// ALU instruction the aggregator arrays execute for this task's
+    /// packets.
+    pub fn register_task_with_op(
+        &mut self,
+        task: TaskId,
+        receiver: u32,
+        op: AggregateOp,
+    ) -> Option<AaRegion> {
+        if self.config.force_host_only {
+            return None;
+        }
+        if self.tasks.contains_key(&task) {
+            return self.tasks.get(&task).map(|t| t.region);
+        }
+        let want = self.config.region_aggregators as u32;
+        let slot = self.free_regions.iter().position(|&(_, len)| len >= want)?;
+        let indicator_idx = self.free_indicators.pop()?;
+        let (base, len) = self.free_regions[slot];
+        if len == want {
+            self.free_regions.remove(slot);
+        } else {
+            self.free_regions[slot] = (base + want, len - want);
+        }
+        let region = AaRegion {
+            base,
+            aggregators: want,
+        };
+        self.pipeline
+            .control_write(self.copy_indicator, indicator_idx, 0);
+        self.pipeline
+            .table_insert(
+                self.task_table,
+                task.0 as u64,
+                vec![
+                    region.base as u64,
+                    region.aggregators as u64,
+                    indicator_idx as u64,
+                    op.to_code() as u64,
+                ],
+            )
+            .expect("table capacity equals the indicator pool");
+        self.tasks.insert(
+            task,
+            TaskEntry {
+                region,
+                indicator_idx,
+                receiver,
+                claims: [Vec::new(), Vec::new()],
+                fetch_cache: None,
+                stats: SwitchTaskStats::default(),
+            },
+        );
+        Some(region)
+    }
+
+    /// Releases a task's region and indicator; idempotent. Any values still
+    /// in the region are zeroed (the receiver is expected to have fetched
+    /// them first).
+    pub fn release_task(&mut self, task: TaskId) {
+        let Some(mut entry) = self.tasks.remove(&task) else {
+            return;
+        };
+        self.pipeline.table_remove(self.task_table, task.0 as u64);
+        for copy in 0..2 {
+            let claims = std::mem::take(&mut entry.claims[copy]);
+            self.reset_claims(&claims, copy);
+        }
+        self.free_indicators.push(entry.indicator_idx);
+        self.free_regions
+            .push((entry.region.base, entry.region.aggregators));
+        self.coalesce_free_regions();
+        self.finished_stats.insert(task, entry.stats);
+    }
+
+    fn coalesce_free_regions(&mut self) {
+        self.free_regions.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.free_regions.len());
+        for &(base, len) in &self.free_regions {
+            match merged.last_mut() {
+                Some((b, l)) if *b + *l == base => *l += len,
+                _ => merged.push((base, len)),
+            }
+        }
+        self.free_regions = merged;
+    }
+
+    fn channel_slot(&mut self, channel: ChannelId) -> Option<usize> {
+        if let Some(local) = &self.local_hosts {
+            if !local.contains(&channel.host()) {
+                return None; // cross-rack flow: no state, pure forwarding
+            }
+        }
+        if let Some(&s) = self.channel_slots.get(&channel) {
+            return Some(s);
+        }
+        let next = self.channel_slots.len();
+        if next >= self.config.max_channels {
+            return None;
+        }
+        self.channel_slots.insert(channel, next);
+        Some(next)
+    }
+
+    /// Runs the dedup gate for one sequenced packet: the `max_seq` stale
+    /// guard, then the compact even/odd `seen` bitmap (§3.3, Eq. 8).
+    fn observe_in_pass(
+        pass: &mut Pass<'_>,
+        max_seq: ArrayId,
+        seen: ArrayId,
+        ch_slot: usize,
+        window: usize,
+        seq: u64,
+    ) -> Observation {
+        let w = window as u64;
+        let new_max = pass
+            .access(max_seq, ch_slot, |v| {
+                *v = (*v).max(seq);
+                *v
+            })
+            .expect("max_seq access");
+        if seq + w <= new_max {
+            return Observation::Stale;
+        }
+        let r = (seq % w) as usize;
+        let q_even = (seq / w).is_multiple_of(2);
+        let bit = ch_slot * window + r;
+        let observed = if q_even {
+            pass.set_bit(seen, bit).expect("seen access")
+        } else {
+            pass.clr_bitc(seen, bit).expect("seen access")
+        };
+        if observed {
+            Observation::Duplicate
+        } else {
+            Observation::First
+        }
+    }
+
+    /// Dedup-gates a bypass packet (long-kv or FIN) that shares the
+    /// channel's sequence space but is never aggregated. The switch forwards
+    /// bypass packets regardless of duplication (the receiver dedups), but
+    /// must still record them so the `seen` window stays dense.
+    pub fn observe_bypass(&mut self, channel: ChannelId, seq: SeqNo) -> Observation {
+        let Some(slot) = self.channel_slot(channel) else {
+            return Observation::First; // untracked channel: pure forwarding
+        };
+        let mut pass = self.pipeline.begin_pass();
+        Self::observe_in_pass(
+            &mut pass,
+            self.max_seq,
+            self.seen,
+            slot,
+            self.config.window,
+            seq.0,
+        )
+    }
+
+    /// Records a forwarded long-key bypass packet in the task's counters.
+    pub fn note_longkv_forwarded(&mut self, task: TaskId, tuples: u64) {
+        if let Some(t) = self.tasks.get_mut(&task) {
+            t.stats.longkv_packets_forwarded += 1;
+            t.stats.tuples_long_forwarded += tuples;
+        }
+    }
+
+    /// Processes one data packet through the full pipeline program.
+    // `drop(pass)` below deliberately ends the pipeline pass (and its
+    // borrow) before control-plane state is updated; the lint misreads
+    // that as a no-op.
+    #[allow(clippy::drop_non_drop)]
+    pub fn process_data(&mut self, pkt: &DataPacket) -> DataVerdict {
+        let Some(ch_slot) = self.channel_slot(pkt.channel) else {
+            // No reliability state available: best-effort pure forwarding.
+            return DataVerdict::Forward(pkt.clone());
+        };
+        let window = self.config.window;
+
+        let mut pass = self.pipeline.begin_pass();
+
+        // Stage 0: resolve the task through the match-action table, then
+        // read its copy indicator (one access per table/array).
+        let action = pass
+            .lookup(self.task_table, pkt.task.0 as u64)
+            .expect("single lookup per pass");
+        let (task_region, copy, op) = match action {
+            Some(words) => {
+                let region = AaRegion {
+                    base: words[0] as u32,
+                    aggregators: words[1] as u32,
+                };
+                let copy = pass
+                    .access(self.copy_indicator, words[2] as usize, |v| *v)
+                    .expect("indicator access") as usize;
+                (Some(region), copy, AggregateOp::from_code(words[3] as u8))
+            }
+            None => (None, 0, AggregateOp::Sum),
+        };
+
+        let obs = Self::observe_in_pass(
+            &mut pass,
+            self.max_seq,
+            self.seen,
+            ch_slot,
+            window,
+            pkt.seq.0,
+        );
+        let state_idx = ch_slot * window + (pkt.seq.0 % window as u64) as usize;
+
+        match obs {
+            Observation::Stale => {
+                drop(pass);
+                if let Some(t) = self.tasks.get_mut(&pkt.task) {
+                    t.stats.stale_dropped += 1;
+                }
+                DataVerdict::Stale
+            }
+            Observation::First => {
+                let (result, new_claims, aggregated, forwarded) = if let Some(region) = task_region
+                {
+                    Self::aggregate_packet(
+                        &mut pass,
+                        &self.aas,
+                        &self.config,
+                        region,
+                        copy,
+                        op,
+                        pkt,
+                    )
+                } else {
+                    (pkt.clone(), Vec::new(), 0, pkt.occupied() as u64)
+                };
+                // Final stage: record the post-aggregation bitmap.
+                pass.access(self.pkt_state, state_idx, |v| *v = result.bitmap() as u64)
+                    .expect("PktState write");
+                drop(pass);
+                if let Some(t) = self.tasks.get_mut(&pkt.task) {
+                    t.claims[copy].extend(new_claims);
+                    t.stats.data_packets += 1;
+                    t.stats.tuples_aggregated += aggregated;
+                    t.stats.tuples_forwarded += forwarded;
+                    if result.is_empty() {
+                        t.stats.packets_fully_aggregated += 1;
+                    } else {
+                        t.stats.packets_forwarded += 1;
+                    }
+                }
+                if result.is_empty() {
+                    DataVerdict::FullyAggregated
+                } else {
+                    DataVerdict::Forward(result)
+                }
+            }
+            Observation::Duplicate => {
+                // Skip the AAs entirely; restore the recorded bitmap.
+                let stored = pass
+                    .access(self.pkt_state, state_idx, |v| *v)
+                    .expect("PktState read") as u128;
+                drop(pass);
+                if let Some(t) = self.tasks.get_mut(&pkt.task) {
+                    t.stats.duplicates_detected += 1;
+                }
+                if stored == 0 {
+                    DataVerdict::FullyAggregated
+                } else {
+                    let mut residual = pkt.clone();
+                    for (i, slot) in residual.slots.iter_mut().enumerate() {
+                        if stored & (1 << i) == 0 {
+                            *slot = None;
+                        }
+                    }
+                    DataVerdict::Forward(residual)
+                }
+            }
+        }
+    }
+
+    /// Aggregates every occupied slot of `pkt` within one pass. Returns the
+    /// rewritten packet (aggregated slots blanked), new claims, and counts.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_packet(
+        pass: &mut Pass<'_>,
+        aas: &[ArrayId],
+        config: &AskConfig,
+        region: AaRegion,
+        copy: usize,
+        op: AggregateOp,
+        pkt: &DataPacket,
+    ) -> (DataPacket, Vec<Claim>, u64, u64) {
+        let layout = &config.layout;
+        debug_assert_eq!(pkt.slots.len(), layout.slot_count());
+        let copy_off = copy * config.aggregators_per_aa;
+        let mut result = pkt.clone();
+        let mut claims = Vec::new();
+        let mut aggregated = 0;
+        let mut forwarded = 0;
+
+        for (slot_ix, slot) in pkt.slots.iter().enumerate() {
+            let Some(tuple) = slot else { continue };
+            let idx = copy_off
+                + region.base as usize
+                + (index_hash(&tuple.key) % region.aggregators as u64) as usize;
+            let ok = if layout.is_short_slot(slot_ix) {
+                let aa = aas[slot_ix];
+                let seg = tuple.key.segment(0);
+                debug_assert_ne!(seg, 0, "valid keys have non-zero segments");
+                let claimed = Self::aggregate_segment(pass, aa, idx, seg, tuple.value, true, op);
+                match claimed {
+                    SegmentOutcome::Claimed => {
+                        claims.push(Claim::Short { aa: slot_ix, idx });
+                        true
+                    }
+                    SegmentOutcome::Matched => true,
+                    SegmentOutcome::Conflict => false,
+                }
+            } else {
+                let group = slot_ix - layout.short_slots();
+                let m = layout.medium_segments();
+                let base_aa = layout.short_slots() + group * m;
+                let mut claimed_any = false;
+                let mut failed = false;
+                for s in 0..m {
+                    if failed {
+                        break;
+                    }
+                    let aa = aas[base_aa + s];
+                    let seg = tuple.key.segment(s);
+                    let is_last = s == m - 1;
+                    match Self::aggregate_segment(pass, aa, idx, seg, tuple.value, is_last, op) {
+                        SegmentOutcome::Claimed => claimed_any = true,
+                        SegmentOutcome::Matched => {}
+                        SegmentOutcome::Conflict => failed = true,
+                    }
+                }
+                debug_assert!(
+                    !(claimed_any && failed),
+                    "coalesced invariant: blanks are all-or-none per index"
+                );
+                if claimed_any {
+                    claims.push(Claim::Medium { group, idx });
+                }
+                !failed
+            };
+            if ok {
+                aggregated += 1;
+                result.slots[slot_ix] = None;
+            } else {
+                forwarded += 1;
+            }
+        }
+        (result, claims, aggregated, forwarded)
+    }
+
+    /// One stateful-ALU operation on one aggregator register: claim if
+    /// blank, add if the key segment matches, otherwise conflict.
+    fn aggregate_segment(
+        pass: &mut Pass<'_>,
+        aa: ArrayId,
+        idx: usize,
+        seg: u32,
+        value: u32,
+        carries_value: bool,
+        op: AggregateOp,
+    ) -> SegmentOutcome {
+        pass.access(aa, idx, |v| {
+            let kpart = (*v >> 32) as u32;
+            let vpart = *v as u32;
+            if kpart == 0 {
+                let nv = if carries_value { value } else { 0 };
+                *v = ((seg as u64) << 32) | nv as u64;
+                SegmentOutcome::Claimed
+            } else if kpart == seg {
+                if carries_value {
+                    *v = ((seg as u64) << 32) | op.combine(vpart, value) as u64;
+                }
+                SegmentOutcome::Matched
+            } else {
+                SegmentOutcome::Conflict
+            }
+        })
+        .expect("AA access")
+    }
+
+    /// Flips the task's copy indicator (Algorithm 1's `Switch()`); data
+    /// packets processed after this pass aggregate into the other copy.
+    pub fn swap(&mut self, task: TaskId) {
+        let Some(entry) = self.tasks.get_mut(&task) else {
+            return;
+        };
+        entry.stats.swaps += 1;
+        let idx = entry.indicator_idx;
+        let mut pass = self.pipeline.begin_pass();
+        pass.access(self.copy_indicator, idx, |v| *v ^= 1)
+            .expect("indicator flip");
+    }
+
+    /// The task's currently active copy (0 or 1); `None` for unknown tasks.
+    pub fn active_copy(&self, task: TaskId) -> Option<usize> {
+        let entry = self.tasks.get(&task)?;
+        Some(
+            self.pipeline
+                .control_read(self.copy_indicator, entry.indicator_idx) as usize,
+        )
+    }
+
+    /// Reliable fetch (Algorithm 1's `Read()` plus reset): harvests the
+    /// requested copies when `fetch_seq` advances, replays the cached reply
+    /// otherwise. Returns the entries to send back.
+    pub fn fetch(&mut self, task: TaskId, scope: FetchScope, fetch_seq: u32) -> Vec<KvTuple> {
+        let Some(entry) = self.tasks.get(&task) else {
+            return Vec::new();
+        };
+        if let Some((cached_seq, ref cached)) = entry.fetch_cache {
+            if fetch_seq <= cached_seq {
+                return cached.clone();
+            }
+        }
+        let active = self
+            .pipeline
+            .control_read(self.copy_indicator, entry.indicator_idx) as usize;
+        let copies: Vec<usize> = match scope {
+            FetchScope::Inactive => vec![1 - active],
+            FetchScope::All => vec![0, 1],
+        };
+        let mut harvest = Vec::new();
+        for copy in copies {
+            let claims = {
+                let entry = self.tasks.get_mut(&task).expect("present");
+                std::mem::take(&mut entry.claims[copy])
+            };
+            self.harvest_claims(&claims, copy, &mut harvest);
+            self.reset_claims(&claims, copy);
+        }
+        let entry = self.tasks.get_mut(&task).expect("present");
+        entry.stats.tuples_fetched += harvest.len() as u64;
+        entry.fetch_cache = Some((fetch_seq, harvest.clone()));
+        harvest
+    }
+
+    fn harvest_claims(&self, claims: &[Claim], _copy: usize, out: &mut Vec<KvTuple>) {
+        let layout = &self.config.layout;
+        for claim in claims {
+            match *claim {
+                Claim::Short { aa, idx } => {
+                    let raw = self.pipeline.control_read(self.aas[aa], idx);
+                    let kpart = (raw >> 32) as u32;
+                    if kpart == 0 {
+                        continue;
+                    }
+                    let key = Key::from_segments(&[kpart]).expect("stored keys are valid");
+                    out.push(KvTuple::new(key, raw as u32));
+                }
+                Claim::Medium { group, idx } => {
+                    let m = layout.medium_segments();
+                    let base_aa = layout.short_slots() + group * m;
+                    let mut segs = Vec::with_capacity(m);
+                    let mut value = 0u32;
+                    for s in 0..m {
+                        let raw = self.pipeline.control_read(self.aas[base_aa + s], idx);
+                        segs.push((raw >> 32) as u32);
+                        if s == m - 1 {
+                            value = raw as u32;
+                        }
+                    }
+                    if segs[0] == 0 {
+                        continue;
+                    }
+                    let key = Key::from_segments(&segs).expect("stored keys are valid");
+                    out.push(KvTuple::new(key, value));
+                }
+            }
+        }
+    }
+
+    fn reset_claims(&mut self, claims: &[Claim], _copy: usize) {
+        let layout = self.config.layout;
+        for claim in claims {
+            match *claim {
+                Claim::Short { aa, idx } => {
+                    self.pipeline.control_write(self.aas[aa], idx, 0);
+                }
+                Claim::Medium { group, idx } => {
+                    let m = layout.medium_segments();
+                    let base_aa = layout.short_slots() + group * m;
+                    for s in 0..m {
+                        self.pipeline.control_write(self.aas[base_aa + s], idx, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total passes the pipeline has executed (one per packet or swap).
+    pub fn passes_executed(&self) -> u64 {
+        self.pipeline.passes_executed()
+    }
+
+    /// Per-stage resource usage of the compiled switch program.
+    pub fn resource_report(&self) -> ask_pisa::pipeline::ResourceReport {
+        self.pipeline.resource_report()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegmentOutcome {
+    Claimed,
+    Matched,
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ask_wire::packet::PacketLayout;
+
+    fn engine() -> AggregatorEngine {
+        AggregatorEngine::new(AskConfig::tiny())
+    }
+
+    fn pkt(task: u32, channel: u32, seq: u64, tuples: &[(usize, &str, u32)]) -> DataPacket {
+        let layout = AskConfig::tiny().layout;
+        let mut slots = vec![None; layout.slot_count()];
+        for &(slot, key, value) in tuples {
+            slots[slot] = Some(KvTuple::new(Key::from_str(key).unwrap(), value));
+        }
+        DataPacket {
+            task: TaskId(task),
+            channel: ChannelId(channel),
+            seq: SeqNo(seq),
+            slots,
+        }
+    }
+
+    #[test]
+    fn first_packet_fully_aggregates() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).expect("region");
+        let v = e.process_data(&pkt(1, 0, 0, &[(0, "cat", 3), (1, "dog", 4)]));
+        assert_eq!(v, DataVerdict::FullyAggregated);
+        let got = e.fetch(TaskId(1), FetchScope::All, 1);
+        let mut got: Vec<(String, u32)> = got
+            .iter()
+            .map(|t| {
+                (
+                    String::from_utf8_lossy(t.key.as_bytes()).into_owned(),
+                    t.value,
+                )
+            })
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![("cat".into(), 3), ("dog".into(), 4)]);
+    }
+
+    #[test]
+    fn same_key_accumulates() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        for seq in 0..10 {
+            let v = e.process_data(&pkt(1, 0, seq, &[(0, "cat", 2)]));
+            assert_eq!(v, DataVerdict::FullyAggregated);
+        }
+        let got = e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 20);
+    }
+
+    #[test]
+    fn collision_forwards_residual() {
+        let mut e = engine();
+        // One-aggregator region: every distinct key after the first collides.
+        let mut cfg = AskConfig::tiny();
+        cfg.region_aggregators = 1;
+        let mut e2 = AggregatorEngine::new(cfg);
+        e2.register_task(TaskId(1), 9).unwrap();
+        assert_eq!(
+            e2.process_data(&pkt(1, 0, 0, &[(0, "aaa", 1)])),
+            DataVerdict::FullyAggregated
+        );
+        match e2.process_data(&pkt(1, 0, 1, &[(0, "bbb", 7)])) {
+            DataVerdict::Forward(p) => {
+                assert_eq!(p.occupied(), 1);
+                assert_eq!(p.slots[0].as_ref().unwrap().value, 7);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        let s = e2.task_stats(TaskId(1)).unwrap();
+        assert_eq!(s.tuples_aggregated, 1);
+        assert_eq!(s.tuples_forwarded, 1);
+        assert_eq!(s.packets_forwarded, 1);
+        // Keep the default-config engine exercised too.
+        e.register_task(TaskId(2), 1).unwrap();
+    }
+
+    #[test]
+    fn duplicate_fully_aggregated_is_acked_not_reaggregated() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        let p = pkt(1, 0, 0, &[(0, "cat", 5)]);
+        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+        let got = e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(got[0].value, 5, "retransmission must not double-count");
+        assert_eq!(e.task_stats(TaskId(1)).unwrap().duplicates_detected, 1);
+    }
+
+    #[test]
+    fn duplicate_partial_carries_only_residual() {
+        let mut cfg = AskConfig::tiny();
+        cfg.region_aggregators = 1;
+        let mut e = AggregatorEngine::new(cfg);
+        e.register_task(TaskId(1), 9).unwrap();
+        // Occupy slot-0's only aggregator with "aaa".
+        e.process_data(&pkt(1, 0, 0, &[(0, "aaa", 1)]));
+        // Mixed packet: "aaa" aggregates, "bbb" conflicts in slot 0... they
+        // share slot 0 across packets; send both in one packet via slots 0/1.
+        let mixed = pkt(1, 0, 1, &[(0, "aaa", 2), (1, "ccc", 3)]);
+        let first = e.process_data(&mixed);
+        // "aaa" merges into slot0 aggregator; "ccc" claims slot1 aggregator.
+        assert_eq!(first, DataVerdict::FullyAggregated);
+        // Now make slot 1 conflict: occupy then send a different key.
+        let conflict = pkt(1, 0, 2, &[(1, "ddd", 9)]);
+        let v1 = e.process_data(&conflict);
+        let DataVerdict::Forward(f1) = v1 else {
+            panic!("expected forward")
+        };
+        // Retransmit the same packet: must carry the same residual without
+        // touching the aggregators.
+        let v2 = e.process_data(&conflict);
+        let DataVerdict::Forward(f2) = v2 else {
+            panic!("expected forward")
+        };
+        assert_eq!(f1, f2);
+        let total: u32 = e
+            .fetch(TaskId(1), FetchScope::All, 1)
+            .iter()
+            .map(|t| t.value)
+            .sum();
+        assert_eq!(total, 1 + 2 + 3, "ddd must not be aggregated on switch");
+    }
+
+    #[test]
+    fn stale_packet_dropped() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        let w = e.config().window as u64;
+        // Advance max_seq far ahead.
+        e.process_data(&pkt(1, 0, 3 * w, &[(0, "cat", 1)]));
+        let v = e.process_data(&pkt(1, 0, w, &[(0, "dog", 1)]));
+        assert_eq!(v, DataVerdict::Stale);
+        assert_eq!(e.task_stats(TaskId(1)).unwrap().stale_dropped, 1);
+    }
+
+    #[test]
+    fn unknown_task_forwards_without_aggregation() {
+        let mut e = engine();
+        let v = e.process_data(&pkt(42, 0, 0, &[(0, "cat", 1)]));
+        match v {
+            DataVerdict::Forward(p) => assert_eq!(p.occupied(), 1),
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_keys_coalesce_and_roundtrip() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        // tiny layout: slots 4 and 5 are medium groups (m = 2).
+        let p = pkt(1, 0, 0, &[(4, "maples", 6)]);
+        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+        assert_eq!(
+            e.process_data(&pkt(1, 0, 1, &[(4, "maples", 4)])),
+            DataVerdict::FullyAggregated
+        );
+        let got = e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key.as_bytes(), b"maples");
+        assert_eq!(got[0].value, 10);
+    }
+
+    #[test]
+    fn medium_prefix_keys_do_not_false_match() {
+        // "yoursX" vs "yourlY": craft two 6-byte keys sharing segment 0 if
+        // hashed to the same index they must conflict, not merge. We force
+        // the shared index with a 1-aggregator region.
+        let mut cfg = AskConfig::tiny();
+        cfg.region_aggregators = 1;
+        let mut e = AggregatorEngine::new(cfg);
+        e.register_task(TaskId(1), 9).unwrap();
+        assert_eq!(
+            e.process_data(&pkt(1, 0, 0, &[(4, "yoursa", 1)])),
+            DataVerdict::FullyAggregated
+        );
+        // Same segment 0 ("your"), different key: unified index collides →
+        // segment 0 mismatch is impossible (same bytes) BUT segment 1
+        // differs → conflict, forwarded.
+        match e.process_data(&pkt(1, 0, 1, &[(4, "yourxy", 2)])) {
+            DataVerdict::Forward(p) => assert_eq!(p.occupied(), 1),
+            other => panic!("expected forward, got {other:?}"),
+        }
+        let got = e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key.as_bytes(), b"yoursa");
+        assert_eq!(got[0].value, 1);
+    }
+
+    #[test]
+    fn shadow_swap_directs_writes_to_other_copy() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        assert_eq!(e.active_copy(TaskId(1)), Some(0));
+        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 1)]));
+        e.swap(TaskId(1));
+        assert_eq!(e.active_copy(TaskId(1)), Some(1));
+        e.process_data(&pkt(1, 0, 1, &[(0, "cat", 2)]));
+        // Inactive copy now holds the pre-swap value.
+        let old = e.fetch(TaskId(1), FetchScope::Inactive, 1);
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].value, 1);
+        // Remaining copy holds the post-swap value.
+        let rest = e.fetch(TaskId(1), FetchScope::All, 2);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].value, 2);
+    }
+
+    #[test]
+    fn fetch_is_idempotent_per_fetch_seq() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 5)]));
+        let a = e.fetch(TaskId(1), FetchScope::All, 1);
+        // Retry of the same fetch_seq replays the cache even though the
+        // registers were reset.
+        let b = e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        // The next fetch_seq sees an empty region.
+        let c = e.fetch(TaskId(1), FetchScope::All, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn regions_isolate_tasks() {
+        let mut cfg = AskConfig::tiny();
+        cfg.region_aggregators = 16; // two tasks fit (64-aggregator space)
+        let mut e = AggregatorEngine::new(cfg);
+        let r1 = e.register_task(TaskId(1), 8).unwrap();
+        let r2 = e.register_task(TaskId(2), 9).unwrap();
+        assert_ne!(r1.base, r2.base);
+        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 1)]));
+        e.process_data(&pkt(2, 1, 0, &[(0, "cat", 10)]));
+        assert_eq!(e.fetch(TaskId(1), FetchScope::All, 1)[0].value, 1);
+        assert_eq!(e.fetch(TaskId(2), FetchScope::All, 1)[0].value, 10);
+    }
+
+    #[test]
+    fn region_exhaustion_denies_then_release_recovers() {
+        let mut cfg = AskConfig::tiny();
+        cfg.region_aggregators = 32; // per-copy space is 64: two tasks max
+        let mut e = AggregatorEngine::new(cfg);
+        assert!(e.register_task(TaskId(1), 1).is_some());
+        assert!(e.register_task(TaskId(2), 2).is_some());
+        assert!(e.register_task(TaskId(3), 3).is_none(), "memory exhausted");
+        e.release_task(TaskId(1));
+        assert!(e.register_task(TaskId(3), 3).is_some());
+        // Idempotent release of an unknown task is a no-op.
+        e.release_task(TaskId(99));
+    }
+
+    #[test]
+    fn release_zeroes_leftover_registers() {
+        let mut cfg = AskConfig::tiny();
+        cfg.region_aggregators = 32;
+        let mut e = AggregatorEngine::new(cfg);
+        e.register_task(TaskId(1), 1).unwrap();
+        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 5)]));
+        e.release_task(TaskId(1));
+        // A new task reusing the same region must not see stale keys.
+        e.register_task(TaskId(2), 2).unwrap();
+        assert_eq!(
+            e.process_data(&pkt(2, 1, 0, &[(0, "dog", 1)])),
+            DataVerdict::FullyAggregated
+        );
+        let got = e.fetch(TaskId(2), FetchScope::All, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key.as_bytes(), b"dog");
+    }
+
+    #[test]
+    fn bypass_observation_keeps_window_dense() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        let w = e.config().window as u64;
+        // Interleave: even seqs are data, odd are bypass, across 3 windows.
+        for seq in 0..3 * w {
+            if seq % 2 == 0 {
+                let v = e.process_data(&pkt(1, 0, seq, &[(0, "cat", 1)]));
+                assert_eq!(v, DataVerdict::FullyAggregated, "seq {seq}");
+            } else {
+                let o = e.observe_bypass(ChannelId(0), SeqNo(seq));
+                assert_eq!(o, Observation::First, "seq {seq}");
+            }
+        }
+        let got = e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(got[0].value as u64, 3 * w / 2);
+    }
+
+    #[test]
+    fn full_window_of_packets_then_duplicates() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        let w = e.config().window as u64;
+        for seq in 0..w {
+            assert_eq!(
+                e.process_data(&pkt(1, 0, seq, &[(0, "k", 1)])),
+                DataVerdict::FullyAggregated
+            );
+        }
+        for seq in 0..w {
+            // All still in window (max_seq = w-1, window (w-1-W, w-1]).
+            assert_eq!(
+                e.process_data(&pkt(1, 0, seq, &[(0, "k", 1)])),
+                DataVerdict::FullyAggregated,
+                "dup seq {seq}"
+            );
+        }
+        assert_eq!(e.fetch(TaskId(1), FetchScope::All, 1)[0].value as u64, w);
+    }
+
+    #[test]
+    fn blank_slots_are_skipped() {
+        let mut e = engine();
+        e.register_task(TaskId(1), 9).unwrap();
+        let layout = PacketLayout::custom(4, 2, 2);
+        let p = DataPacket {
+            task: TaskId(1),
+            channel: ChannelId(0),
+            seq: SeqNo(0),
+            slots: vec![None; layout.slot_count()],
+        };
+        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+    }
+}

@@ -1,0 +1,194 @@
+//! The ASK switch: aggregation engine plus the network-facing node.
+
+pub mod aggregator;
+
+pub use aggregator::{AggregatorEngine, DataVerdict, Observation};
+
+use crate::config::AskConfig;
+use crate::stats::SwitchTaskStats;
+use ask_simnet::frame::{Frame, NodeId};
+use ask_simnet::network::{Context, Node};
+use ask_wire::codec::{decode_envelope, encode_envelope, Envelope};
+use ask_wire::packet::{AskPacket, ControlMsg, TaskId};
+
+/// The top-of-rack ASK switch as a simulated network node.
+///
+/// The switch is both the data plane (every frame between hosts traverses
+/// it; data packets run through the [`AggregatorEngine`] pipeline) and the
+/// controller (it grants and releases aggregator-array regions in response
+/// to control messages, §3.1 steps ③ and ⑫).
+#[derive(Debug)]
+pub struct AskSwitch {
+    engine: AggregatorEngine,
+    /// Next-hop overrides: destinations not listed are assumed directly
+    /// attached. Lets ToR switches route cross-rack traffic via a spine
+    /// (§7 multi-rack deployment).
+    routes: std::collections::HashMap<u32, NodeId>,
+    /// Frames that could not be routed (no link to destination).
+    unroutable: u64,
+    /// Frames that failed to decode.
+    undecodable: u64,
+}
+
+impl AskSwitch {
+    /// Creates a switch with the given configuration.
+    pub fn new(config: AskConfig) -> Self {
+        AskSwitch {
+            engine: AggregatorEngine::new(config),
+            routes: std::collections::HashMap::new(),
+            unroutable: 0,
+            undecodable: 0,
+        }
+    }
+
+    /// Routes frames for destination node `dst` via `next_hop` instead of
+    /// assuming a direct link.
+    pub fn set_route(&mut self, dst: u32, next_hop: NodeId) {
+        self.routes.insert(dst, next_hop);
+    }
+
+    /// Restricts this switch's reliability state and aggregation to the
+    /// given rack-local hosts (§7); see
+    /// [`AggregatorEngine::set_local_hosts`].
+    pub fn set_local_hosts(&mut self, hosts: impl IntoIterator<Item = u32>) {
+        self.engine.set_local_hosts(hosts);
+    }
+
+    /// Per-task switch counters.
+    pub fn task_stats(&self, task: TaskId) -> Option<SwitchTaskStats> {
+        self.engine.task_stats(task)
+    }
+
+    /// Direct access to the aggregation engine (benchmarks, inspection).
+    pub fn engine(&self) -> &AggregatorEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the aggregation engine.
+    pub fn engine_mut(&mut self) -> &mut AggregatorEngine {
+        &mut self.engine
+    }
+
+    /// Frames dropped because no link to the destination exists.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Frames dropped because they failed integrity or format checks
+    /// (corrupted in transit, or not ASK traffic at all).
+    pub fn undecodable(&self) -> u64 {
+        self.undecodable
+    }
+
+    fn forward_ecn(&mut self, envelope: &Envelope, ecn: bool, ctx: &mut Context<'_>) {
+        let layout = self.engine.config().layout;
+        let bytes = encode_envelope(envelope, &layout);
+        let wire = envelope.wire_bytes(&layout);
+        let to = self
+            .routes
+            .get(&envelope.dst)
+            .copied()
+            .unwrap_or_else(|| NodeId::from_index(envelope.dst as usize));
+        let mut frame = Frame::with_wire_bytes(bytes, wire);
+        // Propagate a congestion-experienced mark across hops (IP ECN
+        // semantics: once marked, stays marked).
+        frame.set_ecn_marked(ecn);
+        if ctx.send(to, frame).is_err() {
+            self.unroutable += 1;
+        }
+    }
+
+    fn forward(&mut self, envelope: &Envelope, ctx: &mut Context<'_>) {
+        self.forward_ecn(envelope, false, ctx);
+    }
+
+    fn reply(&mut self, dst: u32, packet: AskPacket, ctx: &mut Context<'_>) {
+        let me = ctx.me().index() as u32;
+        self.forward(&Envelope::new(me, dst, packet), ctx);
+    }
+}
+
+impl Node for AskSwitch {
+    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        let ecn = frame.ecn_marked();
+        let envelope = match decode_envelope(frame.into_payload()) {
+            Ok(e) => e,
+            Err(_) => {
+                self.undecodable += 1;
+                return;
+            }
+        };
+        match &envelope.packet {
+            AskPacket::Data(pkt) => match self.engine.process_data(pkt) {
+                DataVerdict::Stale => {}
+                DataVerdict::FullyAggregated => {
+                    // The switch is the consuming endpoint: echo congestion
+                    // marks back to the sender on the ACK.
+                    let ack = AskPacket::Ack {
+                        channel: pkt.channel,
+                        seq: pkt.seq,
+                        ece: ecn,
+                    };
+                    self.reply(envelope.src, ack, ctx);
+                }
+                DataVerdict::Forward(residual) => {
+                    let fwd = Envelope::new(envelope.src, envelope.dst, AskPacket::Data(residual));
+                    self.forward_ecn(&fwd, ecn, ctx);
+                }
+            },
+            AskPacket::LongKv { channel, seq, .. } | AskPacket::Fin { channel, seq, .. } => {
+                // Bypass traffic: keep the receive window dense, drop only
+                // provably-acknowledged (stale) packets, forward the rest —
+                // the receiver is the deduplicating endpoint.
+                match self.engine.observe_bypass(*channel, *seq) {
+                    Observation::Stale => {}
+                    Observation::First | Observation::Duplicate => {
+                        if let AskPacket::LongKv { task, entries, .. } = &envelope.packet {
+                            self.engine
+                                .note_longkv_forwarded(*task, entries.len() as u64);
+                        }
+                        self.forward_ecn(&envelope, ecn, ctx);
+                    }
+                }
+            }
+            AskPacket::Ack { .. } | AskPacket::FetchReply { .. } => {
+                self.forward(&envelope, ctx);
+            }
+            AskPacket::Swap { task } => {
+                self.engine.swap(*task);
+            }
+            AskPacket::FetchRequest {
+                task,
+                scope,
+                fetch_seq,
+            } => {
+                let entries = self.engine.fetch(*task, *scope, *fetch_seq);
+                let reply = AskPacket::FetchReply {
+                    task: *task,
+                    fetch_seq: *fetch_seq,
+                    entries,
+                };
+                self.reply(envelope.src, reply, ctx);
+            }
+            AskPacket::Control(msg) => match msg {
+                ControlMsg::RegionRequest { task, op } => {
+                    let reply = match self.engine.register_task_with_op(*task, envelope.src, *op) {
+                        Some(region) => ControlMsg::RegionGrant {
+                            task: *task,
+                            region,
+                        },
+                        None => ControlMsg::RegionDeny { task: *task },
+                    };
+                    self.reply(envelope.src, AskPacket::Control(reply), ctx);
+                }
+                ControlMsg::RegionRelease { task } => {
+                    self.engine.release_task(*task);
+                }
+                // Host-to-host control traffic transits the switch.
+                ControlMsg::TaskAnnounce { .. }
+                | ControlMsg::RegionGrant { .. }
+                | ControlMsg::RegionDeny { .. } => self.forward(&envelope, ctx),
+            },
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Value-stream adapters (§2.1.2 / §5.6 backward compatibility).
+//!
+//! Value-stream aggregation — gradient tensors, `MPI_Reduce` vectors — is
+//! the special case of key-value aggregation where keys are dense element
+//! indices. These helpers convert between plain vectors and the key-value
+//! streams the service aggregates, so integrations like the BytePS plugin
+//! don't hand-roll index encoding.
+
+use ask_wire::key::Key;
+use ask_wire::packet::KvTuple;
+use std::collections::HashMap;
+
+/// Encodes a dense vector as an index-keyed tuple stream.
+///
+/// # Examples
+///
+/// ```
+/// use ask::valuestream::{decode_vector, encode_vector};
+///
+/// let stream = encode_vector(&[5, 0, 7]);
+/// assert_eq!(stream.len(), 3);
+/// ```
+pub fn encode_vector(values: &[u32]) -> Vec<KvTuple> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| KvTuple::new(Key::from_u64(i as u64), v))
+        .collect()
+}
+
+/// Error decoding an aggregated map back into a dense vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeVectorError {
+    /// A key did not decode to an element index.
+    NotAnIndex,
+    /// A decoded index fell outside `0..len`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The expected vector length.
+        len: usize,
+    },
+    /// An index in `0..len` had no entry in the map.
+    MissingIndex {
+        /// The first missing index.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for DecodeVectorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeVectorError::NotAnIndex => write!(f, "key is not an element index"),
+            DecodeVectorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            DecodeVectorError::MissingIndex { index } => {
+                write!(f, "no aggregated value for index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeVectorError {}
+
+/// Decodes an aggregated `key → value` map (the task result) back into a
+/// dense vector of length `len`.
+///
+/// # Errors
+///
+/// Returns [`DecodeVectorError`] if keys are not indices, indices exceed
+/// `len`, or any element of `0..len` is missing.
+///
+/// # Examples
+///
+/// ```
+/// use ask::valuestream::{decode_vector, encode_vector};
+/// use ask::service::reference_aggregate;
+///
+/// let sum = reference_aggregate(
+///     encode_vector(&[1, 2, 3]).into_iter().chain(encode_vector(&[10, 20, 30])),
+/// );
+/// assert_eq!(decode_vector(&sum, 3)?, vec![11, 22, 33]);
+/// # Ok::<(), ask::valuestream::DecodeVectorError>(())
+/// ```
+pub fn decode_vector(map: &HashMap<Key, u32>, len: usize) -> Result<Vec<u32>, DecodeVectorError> {
+    let mut out = vec![None; len];
+    for (key, &value) in map {
+        let index = key.to_u64().ok_or(DecodeVectorError::NotAnIndex)?;
+        if index >= len as u64 {
+            return Err(DecodeVectorError::IndexOutOfRange { index, len });
+        }
+        out[index as usize] = Some(value);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(index, v)| v.ok_or(DecodeVectorError::MissingIndex { index }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let stream = encode_vector(&v);
+        let map: HashMap<Key, u32> = stream.into_iter().map(|t| (t.key, t.value)).collect();
+        assert_eq!(decode_vector(&map, 1000).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_index_detected() {
+        let map: HashMap<Key, u32> = encode_vector(&[1, 2])
+            .into_iter()
+            .map(|t| (t.key, t.value))
+            .collect();
+        assert_eq!(
+            decode_vector(&map, 3).unwrap_err(),
+            DecodeVectorError::MissingIndex { index: 2 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let map: HashMap<Key, u32> = encode_vector(&[1, 2, 3])
+            .into_iter()
+            .map(|t| (t.key, t.value))
+            .collect();
+        assert_eq!(
+            decode_vector(&map, 2).unwrap_err(),
+            DecodeVectorError::IndexOutOfRange { index: 2, len: 2 }
+        );
+    }
+
+    #[test]
+    fn foreign_keys_rejected() {
+        let mut map = HashMap::new();
+        // A key containing a NUL-adjacent... any valid key decodes as *some*
+        // integer unless it overflows; build an overflowing 16-byte key.
+        let big = Key::new(bytes::Bytes::from(vec![255u8; 16])).unwrap();
+        map.insert(big, 1);
+        assert_eq!(
+            decode_vector(&map, 1).unwrap_err(),
+            DecodeVectorError::NotAnIndex
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!DecodeVectorError::NotAnIndex.to_string().is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared host-side cost constants for the analytic baselines.
+//!
+//! Every constant is a per-operation cost on the paper's testbed class of
+//! machine (56-core Xeon Gold 5120T, 100 Gbps ConnectX-5). They are
+//! calibration knobs, not measurements: the benchmark harness only relies
+//! on their *relative* magnitudes (JVM-based aggregation ≫ DPDK packet IO ≫
+//! hash-merge), which is what determines the shapes of Figures 3, 7, 10
+//! and 11.
+
+/// Cost model of a host participating in aggregation jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCostModel {
+    /// Per-tuple cost of a map task *emitting* a tuple (generation only).
+    pub map_emit_ns: f64,
+    /// Per-tuple cost of sort-based local pre-aggregation (the PreAggr and
+    /// Spark combiner path: sort + neighbor merge, cache-unfriendly).
+    pub preagg_ns: f64,
+    /// Per-tuple cost of hash-merging into an in-memory table (reducers,
+    /// and the ASK daemon's residual aggregation).
+    pub reduce_merge_ns: f64,
+    /// Per-tuple cost inside a JVM-based engine (Spark's reduce path:
+    /// deserialization + boxing + hash merge).
+    pub jvm_merge_ns: f64,
+    /// Per-packet cost of kernel-bypass (DPDK) packet IO.
+    pub dpdk_packet_ns: f64,
+    /// Per-task scheduling/launch overhead of the big-data framework.
+    pub task_overhead_s: f64,
+    /// Sequential disk write bandwidth (shuffle spill), bytes/s.
+    pub disk_write_bps: f64,
+    /// Sequential disk read bandwidth (shuffle fetch), bytes/s.
+    pub disk_read_bps: f64,
+    /// Effective TCP throughput per host of the vanilla engine, bits/s.
+    pub tcp_bps: f64,
+    /// Effective RDMA throughput per host (SparkRDMA), bits/s.
+    pub rdma_bps: f64,
+    /// NIC line rate, bits/s.
+    pub nic_bps: f64,
+}
+
+impl HostCostModel {
+    /// Defaults for the paper's testbed class.
+    pub fn testbed() -> Self {
+        HostCostModel {
+            map_emit_ns: 30.0,
+            preagg_ns: 220.0,
+            reduce_merge_ns: 25.0,
+            jvm_merge_ns: 550.0,
+            dpdk_packet_ns: 110.0,
+            task_overhead_s: 0.4,
+            disk_write_bps: 0.5e9,
+            disk_read_bps: 1.0e9,
+            tcp_bps: 25e9,
+            rdma_bps: 90e9,
+            nic_bps: 100e9,
+        }
+    }
+
+    /// Seconds for `tuples` tuples at `ns_per_tuple` on one core.
+    pub fn tuple_seconds(tuples: u64, ns_per_tuple: f64) -> f64 {
+        tuples as f64 * ns_per_tuple * 1e-9
+    }
+
+    /// Seconds to move `bytes` at `bps`.
+    pub fn transfer_seconds(bytes: u64, bps: f64) -> f64 {
+        bytes as f64 * 8.0 / bps
+    }
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        HostCostModel::testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_magnitudes_hold() {
+        let m = HostCostModel::testbed();
+        assert!(m.jvm_merge_ns > m.preagg_ns);
+        assert!(m.preagg_ns > m.reduce_merge_ns);
+        assert!(m.dpdk_packet_ns < 1000.0);
+        assert!(m.rdma_bps > m.tcp_bps);
+        assert!(m.nic_bps >= m.rdma_bps);
+    }
+
+    #[test]
+    fn helpers_compute() {
+        assert!((HostCostModel::tuple_seconds(1_000_000_000, 25.0) - 25.0).abs() < 1e-9);
+        assert!((HostCostModel::transfer_seconds(125_000_000, 1e9) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ask-baselines — every comparator in the ASK paper's evaluation
+//!
+//! - [`preaggr`]: the host-only sort-merge aggregation baseline of §5.2.1
+//!   (Figure 7);
+//! - [`noaggr`]: pure DPDK-style transmission with receiver-side
+//!   aggregation, run event-driven on [`ask_simnet`] (§5.7, Figure 13);
+//! - [`spark`]: a miniature Spark-like MapReduce cost engine with Vanilla /
+//!   SHM / RDMA / ASK variants (§5.5, Figures 3, 10, 11);
+//! - [`training`]: ATP, SwitchML, ASK-BytePS, and plain-PS training
+//!   throughput models (§5.6, Figure 12);
+//! - [`cost`]: the calibrated host cost constants all of the above share.
+//!
+//! These are *models with documented assumptions*, not measurements: the
+//! reproduction matches the paper's shapes (who wins, by what factor, where
+//! crossovers fall), and `EXPERIMENTS.md` records model-vs-paper numbers
+//! per figure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod noaggr;
+pub mod preaggr;
+pub mod spark;
+pub mod training;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cost::HostCostModel;
+    pub use crate::noaggr::{run_noaggr, NoAggrReport};
+    pub use crate::preaggr::{ask_expected_jct, run_preaggr, PreAggrReport};
+    pub use crate::spark::{akv, Engine, JobReport, MiniSpark};
+    pub use crate::training::{images_per_sec, TrainingConfig, TrainingSystem};
+}

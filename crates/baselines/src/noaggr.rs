@@ -1,0 +1,192 @@
+//! NoAggr: pure DPDK-style network transmission with host-side aggregation
+//! at the receiver — the overhead/scalability baseline of §5.7.
+//!
+//! Senders blast MTU-sized packets of raw key-value tuples through the
+//! switch to one receiver; the switch only forwards. The receiver's inbound
+//! link is the shared bottleneck, which is what makes NoAggr's per-sender
+//! throughput collapse as `1/n` in Figure 13(b) while ASK's stays flat.
+
+use ask_simnet::frame::{Frame, NodeId};
+use ask_simnet::link::LinkConfig;
+use ask_simnet::network::{Context, Network, NetworkBuilder, Node};
+use ask_simnet::time::{SimDuration, SimTime};
+use bytes::Bytes;
+
+/// Standard Ethernet MTU payload available to tuples after headers.
+const MTU_PAYLOAD: usize = 1500 - 40;
+/// Physical overhead per MTU frame (framing + Ethernet + IP headers).
+const FRAME_OVERHEAD: usize = 78;
+
+/// A node that transmits `bytes_to_send` of raw tuple payload as fast as
+/// its per-packet CPU cost allows.
+#[derive(Debug)]
+struct Blaster {
+    receiver: NodeId,
+    switch: NodeId,
+    bytes_left: u64,
+    cpu_per_packet: SimDuration,
+    payload_sent: u64,
+    done_at: Option<SimTime>,
+}
+
+impl Node for Blaster {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_frame(&mut self, _: NodeId, _: Frame, _: &mut Context<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+        if self.bytes_left == 0 {
+            return;
+        }
+        let chunk = (self.bytes_left as usize).min(MTU_PAYLOAD);
+        self.bytes_left -= chunk as u64;
+        self.payload_sent += chunk as u64;
+        // Encode the destination in the first 4 bytes for the dumb switch.
+        let mut body = vec![0u8; chunk.max(4)];
+        body[..4].copy_from_slice(&(self.receiver.index() as u32).to_be_bytes());
+        let frame = Frame::with_wire_bytes(Bytes::from(body), chunk + FRAME_OVERHEAD);
+        let _ = ctx.send(self.switch, frame);
+        if self.bytes_left > 0 {
+            ctx.set_timer(self.cpu_per_packet, 0);
+        } else {
+            self.done_at = Some(ctx.now() + self.cpu_per_packet);
+        }
+    }
+}
+
+/// A switch that forwards every frame to the destination in its first four
+/// payload bytes.
+#[derive(Debug, Default)]
+struct DumbSwitch;
+
+impl Node for DumbSwitch {
+    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        let payload = frame.payload();
+        if payload.len() < 4 {
+            return;
+        }
+        let dst = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        let _ = ctx.send(NodeId::from_index(dst as usize), frame.clone());
+    }
+}
+
+/// The receiving host: counts payload bytes and tracks the last arrival.
+#[derive(Debug, Default)]
+struct Sink {
+    payload_received: u64,
+    last_arrival: SimTime,
+}
+
+impl Node for Sink {
+    fn on_frame(&mut self, _: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        self.payload_received += (frame.wire_bytes() - FRAME_OVERHEAD) as u64;
+        self.last_arrival = ctx.now();
+    }
+}
+
+/// Result of one NoAggr run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoAggrReport {
+    /// Mean per-sender *goodput* (payload bits/s) over the run.
+    pub per_sender_goodput_bps: f64,
+    /// Aggregate wire throughput into the receiver (bits/s).
+    pub receiver_wire_bps: f64,
+    /// Wall-clock of the transfer (s).
+    pub elapsed_s: f64,
+}
+
+/// Runs `senders` hosts each pushing `bytes_per_sender` of raw tuples to
+/// one receiver over `link`-configured access links.
+///
+/// # Panics
+///
+/// Panics if `senders == 0` or `bytes_per_sender == 0`.
+pub fn run_noaggr(
+    senders: usize,
+    bytes_per_sender: u64,
+    link: LinkConfig,
+    cpu_per_packet: SimDuration,
+) -> NoAggrReport {
+    assert!(senders > 0, "need at least one sender");
+    assert!(bytes_per_sender > 0, "need some payload");
+    let mut b = NetworkBuilder::new(7);
+    let switch = b.add_node(DumbSwitch);
+    let sink = b.add_node(Sink::default());
+    b.connect(sink, switch, link.clone());
+    let blasters: Vec<NodeId> = (0..senders)
+        .map(|_| {
+            let id = b.add_node(Blaster {
+                receiver: sink,
+                switch,
+                bytes_left: bytes_per_sender,
+                cpu_per_packet,
+                payload_sent: 0,
+                done_at: None,
+            });
+            b.connect(id, switch, link.clone());
+            id
+        })
+        .collect();
+    let mut net: Network = b.build();
+    net.run_to_idle();
+
+    let elapsed = net.node::<Sink>(sink).last_arrival.as_secs_f64();
+    let received = net.node::<Sink>(sink).payload_received;
+    let wire_in = net.link_stats(switch, sink);
+    let per_sender = if elapsed == 0.0 {
+        0.0
+    } else {
+        received as f64 * 8.0 / elapsed / blasters.len() as f64
+    };
+    NoAggrReport {
+        per_sender_goodput_bps: per_sender,
+        receiver_wire_bps: wire_in.throughput_bps(ask_simnet::time::SimDuration::from_secs_f64(
+            elapsed.max(1e-12),
+        )),
+        elapsed_s: elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkConfig {
+        LinkConfig::new(100e9, SimDuration::from_micros(1))
+    }
+
+    #[test]
+    fn single_sender_approaches_line_rate() {
+        let r = run_noaggr(1, 50_000_000, link(), SimDuration::from_nanos(100));
+        // 1460-byte payload per 1538 wire bytes ≈ 95% goodput.
+        assert!(
+            r.per_sender_goodput_bps > 85e9,
+            "got {} Gbps",
+            r.per_sender_goodput_bps / 1e9
+        );
+    }
+
+    #[test]
+    fn per_sender_throughput_inversely_proportional_to_senders() {
+        let one = run_noaggr(1, 20_000_000, link(), SimDuration::from_nanos(100));
+        let four = run_noaggr(4, 20_000_000, link(), SimDuration::from_nanos(100));
+        let eight = run_noaggr(8, 20_000_000, link(), SimDuration::from_nanos(100));
+        let r4 = one.per_sender_goodput_bps / four.per_sender_goodput_bps;
+        let r8 = one.per_sender_goodput_bps / eight.per_sender_goodput_bps;
+        assert!((3.3..5.0).contains(&r4), "4 senders ratio {r4}");
+        assert!((6.5..10.0).contains(&r8), "8 senders ratio {r8}");
+    }
+
+    #[test]
+    fn slow_cpu_bounds_throughput_below_line_rate() {
+        // 10 µs per packet → ~146 Mbit/s regardless of the 100 Gbps link.
+        let r = run_noaggr(1, 5_000_000, link(), SimDuration::from_micros(10));
+        assert!(r.per_sender_goodput_bps < 2e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sender")]
+    fn zero_senders_rejected() {
+        run_noaggr(0, 1, link(), SimDuration::ZERO);
+    }
+}

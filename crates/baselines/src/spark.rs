@@ -1,0 +1,355 @@
+//! A miniature Spark-like MapReduce cost engine — the Vanilla / SparkSHM /
+//! SparkRDMA baselines of §5.5, plus the ASK-accelerated variant.
+//!
+//! The engine models a WordCount-style job as three phases with explicit
+//! cost terms (calibrated in [`crate::cost`]):
+//!
+//! 1. **Map**: emit tuples, then (baselines only) sort-based local
+//!    pre-aggregation — the paper's key observation is that this combiner
+//!    step dominates mapper time, and ASK removes it entirely (Figure 11).
+//! 2. **Shuffle**: intermediate data moves mapper → reducer; Vanilla spills
+//!    through disk, SHM keeps it in memory, RDMA additionally gets a faster
+//!    network.
+//! 3. **Reduce**: merge arriving tuples into the final table.
+//!
+//! The ASK variant streams raw tuples through the switch instead: mappers
+//!    pay only packetization + IO, reducers pay the residual fraction the
+//!    switch could not absorb plus co-located mappers' local data.
+
+use crate::cost::HostCostModel;
+use ask_workloads::wordcount::WordCountJob;
+
+/// Which engine runs the job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// Vanilla Spark: combiner + disk shuffle + TCP.
+    SparkVanilla,
+    /// Spark with shared-memory shuffle (no disk IO).
+    SparkShm,
+    /// Spark with RDMA network IO.
+    SparkRdma,
+    /// Spark with ASK in-network aggregation.
+    Ask {
+        /// Fraction of streamed tuples the switch absorbs (measure it with
+        /// the real `ask` stack; Table 1 reports 0.857–0.943).
+        switch_absorption: f64,
+    },
+}
+
+/// Phase and total timings of one job run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobReport {
+    /// Mean map-task completion time, seconds (Figure 11 left).
+    pub mapper_tct: f64,
+    /// Mean reduce-task completion time, seconds (Figure 11 right).
+    pub reducer_tct: f64,
+    /// Job completion time, seconds (Figure 10).
+    pub jct: f64,
+    /// Total CPU core-seconds burned across the cluster.
+    pub cpu_core_seconds: f64,
+}
+
+/// Cost engine for WordCount-style jobs.
+#[derive(Debug, Clone)]
+pub struct MiniSpark {
+    cost: HostCostModel,
+    /// Worker cores per machine available to tasks.
+    cores_per_machine: usize,
+}
+
+impl MiniSpark {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_machine == 0`.
+    pub fn new(cost: HostCostModel, cores_per_machine: usize) -> Self {
+        assert!(cores_per_machine > 0, "need at least one core");
+        MiniSpark {
+            cost,
+            cores_per_machine,
+        }
+    }
+
+    /// Runs `job` on `engine` and reports phase timings.
+    pub fn run(&self, job: &WordCountJob, engine: Engine) -> JobReport {
+        match engine {
+            Engine::SparkVanilla => self.run_spark(job, true, self.cost.tcp_bps),
+            Engine::SparkShm => self.run_spark(job, false, self.cost.tcp_bps),
+            Engine::SparkRdma => self.run_spark(job, false, self.cost.rdma_bps),
+            Engine::Ask { switch_absorption } => self.run_ask(job, switch_absorption),
+        }
+    }
+
+    fn waves(&self, tasks: usize) -> f64 {
+        (tasks as f64 / self.cores_per_machine as f64).ceil()
+    }
+
+    fn run_spark(&self, job: &WordCountJob, disk_shuffle: bool, net_bps: f64) -> JobReport {
+        let c = &self.cost;
+        let tuples = job.tuples_per_mapper;
+
+        // Map task: emit + combiner (sort + neighbor merge).
+        let mapper_tct =
+            HostCostModel::tuple_seconds(tuples, c.map_emit_ns + c.preagg_ns) + c.task_overhead_s;
+        let map_phase = self.waves(job.mappers_per_machine) * mapper_tct;
+
+        // Intermediate volume after the combiner: one tuple per distinct key
+        // per mapper (8 bytes each).
+        let inter_per_mapper = job.distinct_keys_per_mapper.min(tuples) * 8;
+        let inter_per_machine = inter_per_mapper * job.mappers_per_machine as u64;
+        let mut shuffle = HostCostModel::transfer_seconds(inter_per_machine, net_bps);
+        if disk_shuffle {
+            shuffle += HostCostModel::transfer_seconds(inter_per_machine, c.disk_write_bps)
+                + HostCostModel::transfer_seconds(inter_per_machine, c.disk_read_bps);
+        }
+
+        // Reduce task: every combined tuple is merged once, spread over the
+        // cluster's reducers.
+        let reducers = job.total_mappers(); // symmetric mapper/reducer counts
+        let tuples_per_reducer =
+            inter_per_mapper / 8 * job.total_mappers() as u64 / reducers as u64;
+        let reducer_tct =
+            HostCostModel::tuple_seconds(tuples_per_reducer, c.jvm_merge_ns) + c.task_overhead_s;
+        let reduce_phase = self.waves(job.mappers_per_machine) * reducer_tct;
+
+        let jct = map_phase + shuffle + reduce_phase;
+        let cpu = job.total_mappers() as f64
+            * HostCostModel::tuple_seconds(tuples, c.map_emit_ns + c.preagg_ns)
+            + reducers as f64 * HostCostModel::tuple_seconds(tuples_per_reducer, c.jvm_merge_ns);
+        JobReport {
+            mapper_tct,
+            reducer_tct,
+            jct,
+            cpu_core_seconds: cpu,
+        }
+    }
+
+    fn run_ask(&self, job: &WordCountJob, absorption: f64) -> JobReport {
+        assert!(
+            (0.0..=1.0).contains(&absorption),
+            "absorption is a fraction"
+        );
+        let c = &self.cost;
+        let tuples = job.tuples_per_mapper;
+        // ~24 short tuples ride one multi-key packet (paper layout).
+        let tuples_per_packet = 24.0;
+
+        // Map task: emit + hand tuples to the daemon via shared memory; the
+        // daemon's packet IO is amortized per packet. No combiner, no sort.
+        let mapper_cpu = HostCostModel::tuple_seconds(tuples, c.map_emit_ns)
+            + HostCostModel::tuple_seconds(tuples, c.dpdk_packet_ns / tuples_per_packet);
+        // NIC bound: all mappers on a machine share the 100 Gbps uplink;
+        // each 8-byte tuple costs 8 + 78/24 wire bytes.
+        let wire_bytes_per_tuple = 8.0 + 78.0 / tuples_per_packet;
+        let machine_raw_bytes =
+            job.mappers_per_machine as f64 * tuples as f64 * wire_bytes_per_tuple;
+        let nic_seconds = machine_raw_bytes * 8.0 / c.nic_bps;
+        // Mappers stream concurrently: each mapper's wall time is its CPU
+        // time or its share of the NIC, whichever dominates.
+        let mapper_tct = mapper_cpu.max(nic_seconds) + c.task_overhead_s;
+        let map_phase = mapper_tct; // all mappers stream in parallel
+
+        // Reducers merge (a) co-located mappers' data (1/machines of the
+        // total — it never crosses the network) and (b) the unabsorbed
+        // residual of remote data, plus the fetched switch table.
+        let total_tuples = job.total_tuples();
+        let local_share = total_tuples as f64 / job.machines as f64;
+        let remote_share = total_tuples as f64 - local_share;
+        let residual = remote_share * (1.0 - absorption);
+        let fetched = job.distinct_keys_per_mapper as f64; // switch table size
+        let merged_per_reducer = (local_share + residual + fetched) / job.total_mappers() as f64;
+        let reducer_tct =
+            HostCostModel::tuple_seconds(merged_per_reducer as u64, c.reduce_merge_ns)
+                + c.task_overhead_s;
+        let reduce_phase = self.waves(job.mappers_per_machine) * reducer_tct;
+
+        // Streaming overlaps map and reduce; the tail is the reduce waves.
+        let jct = map_phase + reduce_phase;
+        let cpu = job.total_mappers() as f64 * mapper_cpu
+            + job.total_mappers() as f64
+                * HostCostModel::tuple_seconds(merged_per_reducer as u64, c.reduce_merge_ns);
+        JobReport {
+            mapper_tct,
+            reducer_tct,
+            jct,
+            cpu_core_seconds: cpu,
+        }
+    }
+}
+
+/// Aggregation throughput (aggregated key-value tuples per second) models
+/// for the single-machine comparison of Figure 3.
+pub mod akv {
+    use crate::cost::HostCostModel;
+
+    /// Spark's aggregation throughput with `cores` cores: saturating
+    /// scaling `a·c / (c + k)` fit to the paper's observations (peaks at 56
+    /// cores, far below line rate).
+    pub fn spark_akv_per_sec(cores: usize) -> f64 {
+        let c = cores as f64;
+        45e6 * c / (c + 20.0)
+    }
+
+    /// The strawman single-tuple-per-packet INA: per-core packet IO until
+    /// the 100 Gbps line rate of 86-byte packets saturates.
+    pub fn strawman_akv_per_sec(cores: usize, cost: &HostCostModel) -> f64 {
+        let pps_per_core = 1e9 / cost.dpdk_packet_ns;
+        let line_rate_pps = cost.nic_bps / (86.0 * 8.0);
+        (cores as f64 * pps_per_core).min(line_rate_pps)
+    }
+
+    /// Full ASK with multi-key vectorization: 24 tuples per packet until
+    /// the goodput-bound tuple rate saturates.
+    pub fn ask_akv_per_sec(cores: usize, cost: &HostCostModel) -> f64 {
+        let tuples_per_packet = 24.0;
+        let pps_per_core = 1e9 / cost.dpdk_packet_ns;
+        let wire_bits = (24.0 * 8.0 + 78.0) * 8.0;
+        let line_rate_tuples = cost.nic_bps / wire_bits * tuples_per_packet;
+        (cores as f64 * pps_per_core * tuples_per_packet).min(line_rate_tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> WordCountJob {
+        WordCountJob::figure10(50_000_000)
+    }
+
+    fn engine() -> MiniSpark {
+        MiniSpark::new(HostCostModel::testbed(), 32)
+    }
+
+    #[test]
+    fn ask_beats_all_spark_variants() {
+        let e = engine();
+        let j = job();
+        let ask = e.run(
+            &j,
+            Engine::Ask {
+                switch_absorption: 0.9,
+            },
+        );
+        for variant in [Engine::SparkVanilla, Engine::SparkShm, Engine::SparkRdma] {
+            let s = e.run(&j, variant);
+            assert!(
+                ask.jct < s.jct,
+                "ASK {:?} vs {variant:?} {:?}",
+                ask.jct,
+                s.jct
+            );
+        }
+    }
+
+    #[test]
+    fn jct_reduction_in_paper_band() {
+        // Paper: 67.3%–75.1% JCT reduction vs all baselines (§5.5).
+        let e = engine();
+        let j = job();
+        let ask = e
+            .run(
+                &j,
+                Engine::Ask {
+                    switch_absorption: 0.9,
+                },
+            )
+            .jct;
+        let vanilla = e.run(&j, Engine::SparkVanilla).jct;
+        let reduction = 1.0 - ask / vanilla;
+        assert!(
+            (0.5..0.9).contains(&reduction),
+            "JCT reduction {reduction} out of band"
+        );
+    }
+
+    #[test]
+    fn shm_and_rdma_barely_help() {
+        // §5.5 observation 1: after the combiner, intermediate data is
+        // small, so faster shuffle paths do not change JCT much.
+        let e = engine();
+        let j = job();
+        let vanilla = e.run(&j, Engine::SparkVanilla).jct;
+        let shm = e.run(&j, Engine::SparkShm).jct;
+        let rdma = e.run(&j, Engine::SparkRdma).jct;
+        assert!(shm <= vanilla && rdma <= vanilla);
+        assert!(vanilla / rdma < 1.3, "shuffle acceleration alone is <30%");
+    }
+
+    #[test]
+    fn ask_mappers_are_order_of_magnitude_faster() {
+        // Figure 11: mapper TCT mean 1.67 s (ASK) vs 15.89–17.67 s (others).
+        let e = engine();
+        let j = job();
+        let ask = e.run(
+            &j,
+            Engine::Ask {
+                switch_absorption: 0.9,
+            },
+        );
+        let vanilla = e.run(&j, Engine::SparkVanilla);
+        assert!(
+            vanilla.mapper_tct / ask.mapper_tct > 4.0,
+            "{} vs {}",
+            vanilla.mapper_tct,
+            ask.mapper_tct
+        );
+        // And ASK reducers are *not* faster (they absorb co-located data).
+        assert!(ask.reducer_tct > 0.0);
+    }
+
+    #[test]
+    fn ask_saves_cpu() {
+        let e = engine();
+        let j = job();
+        let ask = e.run(
+            &j,
+            Engine::Ask {
+                switch_absorption: 0.9,
+            },
+        );
+        let vanilla = e.run(&j, Engine::SparkVanilla);
+        assert!(ask.cpu_core_seconds < vanilla.cpu_core_seconds / 2.0);
+    }
+
+    #[test]
+    fn jct_scales_with_volume() {
+        let e = engine();
+        let small = e.run(&WordCountJob::figure10(50_000_000), Engine::SparkVanilla);
+        let large = e.run(&WordCountJob::figure10(200_000_000), Engine::SparkVanilla);
+        assert!(large.jct > small.jct * 2.0);
+    }
+
+    #[test]
+    fn akv_models_have_paper_shape() {
+        use super::akv::*;
+        let cost = HostCostModel::testbed();
+        // Strawman reaches line rate with ~16 cores; Spark never does.
+        let straw16 = strawman_akv_per_sec(16, &cost);
+        let line = cost.nic_bps / (86.0 * 8.0);
+        assert!((straw16 - line).abs() / line < 0.01);
+        assert!(spark_akv_per_sec(56) < line / 3.0);
+        // Strawman beats Spark at equal cores; full ASK beats both by far.
+        assert!(straw16 > spark_akv_per_sec(16) * 3.0);
+        let ask4 = ask_akv_per_sec(4, &cost);
+        assert!(
+            ask4 / spark_akv_per_sec(4) > 50.0,
+            "got {}",
+            ask4 / spark_akv_per_sec(4)
+        );
+        // Monotone in cores.
+        assert!(spark_akv_per_sec(32) > spark_akv_per_sec(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "absorption")]
+    fn bad_absorption_rejected() {
+        engine().run(
+            &job(),
+            Engine::Ask {
+                switch_absorption: 1.5,
+            },
+        );
+    }
+}

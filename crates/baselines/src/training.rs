@@ -1,0 +1,183 @@
+//! Distributed-training throughput models: ASK-BytePS, ATP, SwitchML, and a
+//! no-INA parameter-server baseline (Figure 12 and §5.6).
+//!
+//! One training iteration overlaps GPU compute with gradient
+//! synchronization; the iteration time is `max(compute, comm) +
+//! (1 − overlap) · min(compute, comm)`. All three INA systems aggregate
+//! gradients at line rate in the switch, so the only difference between
+//! them is *wire efficiency* — how many payload bytes each puts on the wire
+//! per gradient element:
+//!
+//! - **ASK** (value-stream mode): the BytePS plugin packs one base index
+//!   per packet of contiguous values (§2.2.2's value-stream property), so
+//!   ≈ 4 B/element at the paper's 256 B payload / 78 B overhead framing.
+//! - **ATP**: the same 4 B/element with a comparable header.
+//! - **SwitchML**: fixed small packets (its design point), modelled as a
+//!   128 B payload per 78 B overhead — the paper's "small packet size
+//!   cannot fully utilize the network bandwidth".
+//! - **PS (no INA)**: every worker's gradients cross the parameter server's
+//!   single link, so communication scales with the worker count.
+
+use ask_workloads::models::ModelSpec;
+
+/// A gradient-synchronization system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingSystem {
+    /// ASK integrated with BytePS (this paper).
+    AskBytePs,
+    /// ATP (NSDI'21), synchronous INA.
+    Atp,
+    /// SwitchML (NSDI'21), synchronous INA with small packets.
+    SwitchMl,
+    /// BytePS parameter server without in-network aggregation.
+    PsNoIna,
+}
+
+impl TrainingSystem {
+    /// Wire bytes per 4-byte gradient element, including per-packet
+    /// overhead amortization.
+    fn wire_bytes_per_element(self) -> f64 {
+        match self {
+            // 256 B of values per 78 B overhead, one 8 B index per packet.
+            TrainingSystem::AskBytePs => 4.0 * (256.0 + 78.0 + 8.0) / 256.0,
+            TrainingSystem::Atp => 4.0 * (256.0 + 78.0) / 256.0,
+            // 128 B of values per 78 B overhead.
+            TrainingSystem::SwitchMl => 4.0 * (128.0 + 78.0) / 128.0,
+            TrainingSystem::PsNoIna => 4.0 * (256.0 + 78.0) / 256.0,
+        }
+    }
+}
+
+/// Cluster and overlap parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingConfig {
+    /// Worker hosts (each with one GPU).
+    pub workers: usize,
+    /// NIC line rate, bits/s.
+    pub nic_bps: f64,
+    /// Fraction of communication hidden behind backward compute, `[0, 1]`.
+    pub overlap: f64,
+}
+
+impl TrainingConfig {
+    /// The paper's testbed: 8 workers on 100 Gbps with good overlap.
+    pub fn paper_testbed() -> Self {
+        TrainingConfig {
+            workers: 8,
+            nic_bps: 100e9,
+            overlap: 0.8,
+        }
+    }
+}
+
+/// Training throughput in images per second for `model` under `system`.
+///
+/// # Panics
+///
+/// Panics if the config has no workers or `overlap` is out of `[0, 1]`.
+pub fn images_per_sec(model: &ModelSpec, system: TrainingSystem, cfg: &TrainingConfig) -> f64 {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!((0.0..=1.0).contains(&cfg.overlap), "overlap is a fraction");
+    let compute = model.compute_seconds_per_iteration();
+    let wire_bytes = model.parameters as f64 / 4.0 * 4.0 * system.wire_bytes_per_element();
+    let incast = match system {
+        // The PS's single link carries every worker's gradients (and the
+        // broadcast back), so it serializes the whole cluster's volume.
+        TrainingSystem::PsNoIna => cfg.workers as f64,
+        _ => 1.0,
+    };
+    let comm = wire_bytes * incast * 8.0 / cfg.nic_bps;
+    let (hi, lo) = if compute >= comm {
+        (compute, comm)
+    } else {
+        (comm, compute)
+    };
+    let iter = hi + (1.0 - cfg.overlap) * lo;
+    cfg.workers as f64 * model.batch_size as f64 / iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrainingConfig {
+        TrainingConfig::paper_testbed()
+    }
+
+    #[test]
+    fn ina_systems_are_similar() {
+        // Figure 12: ASK, ATP, SwitchML within a few percent of each other.
+        for model in ModelSpec::paper_models() {
+            let ask = images_per_sec(&model, TrainingSystem::AskBytePs, &cfg());
+            let atp = images_per_sec(&model, TrainingSystem::Atp, &cfg());
+            let sml = images_per_sec(&model, TrainingSystem::SwitchMl, &cfg());
+            assert!(
+                (ask / atp - 1.0).abs() < 0.05,
+                "{}: ask {ask} atp {atp}",
+                model.name
+            );
+            assert!(
+                ask / sml >= 0.999,
+                "{}: ASK never loses to SwitchML",
+                model.name
+            );
+            assert!(ask / sml < 1.4, "{}: but the edge is modest", model.name);
+        }
+    }
+
+    #[test]
+    fn ask_edge_is_larger_on_communication_bound_models() {
+        let edge = |m: &ModelSpec| {
+            images_per_sec(m, TrainingSystem::AskBytePs, &cfg())
+                / images_per_sec(m, TrainingSystem::SwitchMl, &cfg())
+        };
+        let vgg = ModelSpec::vgg16();
+        let resnet = ModelSpec::resnet50();
+        assert!(
+            edge(&vgg) >= edge(&resnet),
+            "VGG (comm-heavy) benefits at least as much: {} vs {}",
+            edge(&vgg),
+            edge(&resnet)
+        );
+    }
+
+    #[test]
+    fn ina_beats_plain_parameter_server() {
+        for model in ModelSpec::paper_models() {
+            let ask = images_per_sec(&model, TrainingSystem::AskBytePs, &cfg());
+            let ps = images_per_sec(&model, TrainingSystem::PsNoIna, &cfg());
+            assert!(ask > ps, "{}: {ask} vs {ps}", model.name);
+        }
+        // And the gap is dramatic for the VGGs (large gradients).
+        let vgg = ModelSpec::vgg19();
+        let ask = images_per_sec(&vgg, TrainingSystem::AskBytePs, &cfg());
+        let ps = images_per_sec(&vgg, TrainingSystem::PsNoIna, &cfg());
+        assert!(ask / ps > 1.5, "VGG19 INA speedup {}", ask / ps);
+    }
+
+    #[test]
+    fn throughput_scales_with_workers_for_ina() {
+        let m = ModelSpec::resnet50();
+        let mut c = cfg();
+        c.workers = 4;
+        let four = images_per_sec(&m, TrainingSystem::AskBytePs, &c);
+        c.workers = 8;
+        let eight = images_per_sec(&m, TrainingSystem::AskBytePs, &c);
+        assert!((eight / four - 2.0).abs() < 0.01, "INA scales linearly");
+    }
+
+    #[test]
+    fn absolute_numbers_are_plausible() {
+        // 8 × 2080 Ti on ResNet-50 lands in the low thousands of images/s.
+        let r = images_per_sec(&ModelSpec::resnet50(), TrainingSystem::AskBytePs, &cfg());
+        assert!((1000.0..4000.0).contains(&r), "got {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        let mut c = cfg();
+        c.workers = 0;
+        images_per_sec(&ModelSpec::resnet50(), TrainingSystem::Atp, &c);
+    }
+}

@@ -1,0 +1,10 @@
+//! `cargo bench -p ask-bench --bench figures` — regenerates every table and
+//! figure of the paper's evaluation and prints them (custom harness; not a
+//! statistical microbenchmark).
+
+fn main() {
+    // `cargo bench` passes `--bench`; ignore any filter arguments.
+    let scale = ask_bench::Scale::from_env();
+    println!("# ASK evaluation reproduction (scale: {scale:?})\n");
+    print!("{}", ask_bench::run_all(scale));
+}

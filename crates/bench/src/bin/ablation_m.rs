@@ -1,0 +1,58 @@
+//! Ablation: the medium-key group width `m` (§3.2.3).
+//!
+//! "The choice of m should adapt to the key size distribution: a small m
+//! would cause more long keys without INA, but a large m would possibly
+//! cause packet payload and AAs to be wasted." This sweep quantifies that
+//! trade-off on the yelp stand-in: for each `m`, the fraction of tuples
+//! that bypass the switch (long keys), the packet occupancy, the nominal
+//! goodput efficiency, and the measured switch absorption.
+
+use ask::prelude::*;
+use ask_bench::output::{pct, Table};
+use ask_bench::runners::{run_ask, AskRun, Scale};
+use ask_wire::key::KeyClass;
+use ask_workloads::text::TextCorpus;
+
+fn main() {
+    let scale = Scale::from_env();
+    let tuples = scale.count(80_000, 600_000);
+    let corpus = TextCorpus::yelp();
+    let stream = corpus.stream(5, tuples);
+
+    let mut t = Table::new(
+        "Ablation — medium-key group width m (yelp stand-in, k·m + short = 32 AAs)",
+        &[
+            "m",
+            "layout",
+            "long-key bypass",
+            "mean occupancy",
+            "switch absorption",
+        ],
+    );
+    for (m, short, k) in [(2usize, 16usize, 8usize), (3, 14, 6), (4, 16, 4)] {
+        let layout = PacketLayout::custom(short, k, m);
+        assert!(layout.aggregator_arrays() <= 38);
+        let long: usize = stream
+            .iter()
+            .filter(|x| x.key.class(m) == KeyClass::Long)
+            .count();
+        let packetizer = Packetizer::new(layout, 64);
+        let occupancy = packetizer.packetize(stream.clone()).mean_occupancy();
+
+        let mut cfg = AskConfig::paper_default();
+        cfg.layout = layout;
+        cfg.aggregators_per_aa = 8192;
+        cfg.region_aggregators = 8192;
+        let report = run_ask(&AskRun::paper(cfg), vec![stream.clone()]);
+        t.row(&[
+            m.to_string(),
+            format!("{short}+{k}x{m}"),
+            pct(long as f64 / stream.len() as f64),
+            format!("{occupancy:.2}/{}", layout.slot_count()),
+            pct(report.absorption()),
+        ]);
+    }
+    t.note("larger m shrinks the long-key bypass but spends more AAs per medium key");
+    t.note("the paper picks m = 2, k = 8 as suitable for its datasets");
+    print!("{}", t.render());
+}

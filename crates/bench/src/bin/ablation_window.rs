@@ -1,0 +1,42 @@
+//! Ablation: the sliding-window size `W` (§3.3).
+//!
+//! The paper fixes W = 256 packets, sizing the switch's per-channel state
+//! at 256 b of `seen` + 256 × 64 b of `PktState`. This sweep shows the
+//! trade-off the choice balances: a small window cannot cover the
+//! bandwidth-delay product (throughput collapses), while a large one only
+//! costs switch SRAM.
+
+use ask::prelude::*;
+use ask_bench::output::{gbps, Table};
+use ask_bench::runners::{run_ask, AskRun, Scale};
+use ask_workloads::text::uniform_stream;
+
+fn main() {
+    let scale = Scale::from_env();
+    let tuples = scale.count(100_000, 800_000);
+    let mut t = Table::new(
+        "Ablation — sliding-window size W (§3.3; paper uses 256)",
+        &["W", "per-channel switch state", "sender goodput Gbps"],
+    );
+    for w in [4usize, 16, 64, 256, 1024] {
+        let mut cfg = AskConfig::paper_default();
+        cfg.layout = PacketLayout::short_only(32);
+        cfg.window = w;
+        // Large windows only fit the PktState stage with fewer tracked
+        // channels — the SRAM trade-off this ablation is about.
+        cfg.max_channels = (1280 * 1024 / (w * 8)).clamp(8, 256);
+        let run_cfg = AskRun::paper(cfg);
+        let report = run_ask(&run_cfg, vec![uniform_stream(3, 4_096, tuples)]);
+        let state_bytes = (w + w * 64) / 8;
+        t.row(&[
+            w.to_string(),
+            format!("{state_bytes} B"),
+            gbps(report.sender_goodput_bps[0]),
+        ]);
+    }
+    t.note(
+        "throughput needs W ≥ bandwidth-delay product in packets; beyond that, W only costs SRAM",
+    );
+    t.note("paper: W = 256 costs 1056 B per data channel (256 b seen + 256 × 32 b PktState)");
+    print!("{}", t.render());
+}

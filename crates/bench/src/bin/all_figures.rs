@@ -1,0 +1,5 @@
+//! Regenerates every table and figure of the paper's evaluation.
+fn main() {
+    let scale = ask_bench::Scale::from_env();
+    print!("{}", ask_bench::run_all(scale));
+}

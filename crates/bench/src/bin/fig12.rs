@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 on demand.
+fn main() {
+    let scale = ask_bench::Scale::from_env();
+    print!("{}", ask_bench::fig12::run(scale));
+}

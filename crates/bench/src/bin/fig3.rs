@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 on demand.
+fn main() {
+    let scale = ask_bench::Scale::from_env();
+    print!("{}", ask_bench::fig3::run(scale));
+}

@@ -1,0 +1,49 @@
+//! Prints the ASK switch program's pipeline resource map — the reproduction
+//! of the paper's §3.3 memory arithmetic ("256 + 256 × 32 bits ... a
+//! top-of-rack switch can spare 264 KB SRAM to sufficiently support 64
+//! servers").
+
+use ask::prelude::*;
+use ask::switch::AggregatorEngine;
+
+fn main() {
+    let config = AskConfig::paper_default();
+    let engine = AggregatorEngine::new(config.clone());
+    println!(
+        "ASK switch program, paper-default configuration\n\
+         layout: {} short slots + {} medium groups × {} segments = {} AAs\n\
+         {} aggregators per AA per shadow copy, window W = {}, \
+         {} channels, {} tasks\n",
+        config.layout.short_slots(),
+        config.layout.medium_groups(),
+        config.layout.medium_segments(),
+        config.layout.aggregator_arrays(),
+        config.aggregators_per_aa,
+        config.window,
+        config.max_channels,
+        config.max_tasks,
+    );
+    println!("{}", engine.resource_report());
+
+    // The paper's per-channel reliability state arithmetic.
+    let per_channel_bits = config.window + config.window * 64;
+    println!(
+        "reliability state per data channel: {} b seen + {} b PktState = {} B",
+        config.window,
+        config.window * 64,
+        per_channel_bits / 8
+    );
+    println!(
+        "{} channels need {} KB of the pipeline's {} KB total SRAM",
+        config.max_channels,
+        config.max_channels * per_channel_bits / 8 / 1024,
+        engine
+            .resource_report()
+            .stages
+            .first()
+            .map(|s| s.sram_total)
+            .unwrap_or(0)
+            * 16
+            / 1024,
+    );
+}

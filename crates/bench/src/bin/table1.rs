@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 on demand.
+fn main() {
+    let scale = ask_bench::Scale::from_env();
+    print!("{}", ask_bench::table1::run(scale));
+}

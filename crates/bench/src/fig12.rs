@@ -1,0 +1,54 @@
+//! Figure 12: single-job distributed-training throughput (images/s) for
+//! ResNet-50/101/152 and VGG-11/16/19 — ASK-BytePS vs ATP vs SwitchML,
+//! plus a no-INA parameter-server reference.
+//!
+//! Paper shape: the three INA systems perform alike, with ASK and ATP
+//! slightly ahead of SwitchML on some models because SwitchML's small
+//! packets waste bandwidth.
+
+use crate::output::Table;
+use crate::runners::Scale;
+use ask_baselines::prelude::*;
+use ask_workloads::models::ModelSpec;
+
+/// Regenerates Figure 12.
+pub fn run(_scale: Scale) -> String {
+    let cfg = TrainingConfig::paper_testbed();
+    let mut t = Table::new(
+        "Figure 12 — training throughput (images/s, 8 workers, 100 Gbps)",
+        &["model", "ASK", "ATP", "SwitchML", "PS (no INA)"],
+    );
+    for model in ModelSpec::paper_models() {
+        t.row(&[
+            model.name.to_string(),
+            format!(
+                "{:.0}",
+                images_per_sec(&model, TrainingSystem::AskBytePs, &cfg)
+            ),
+            format!("{:.0}", images_per_sec(&model, TrainingSystem::Atp, &cfg)),
+            format!(
+                "{:.0}",
+                images_per_sec(&model, TrainingSystem::SwitchMl, &cfg)
+            ),
+            format!(
+                "{:.0}",
+                images_per_sec(&model, TrainingSystem::PsNoIna, &cfg)
+            ),
+        ]);
+    }
+    t.note("paper: ASK ≈ ATP ≥ SwitchML on all six models; the PS column shows the INA gain");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_models() {
+        let out = run(Scale::Quick);
+        for name in ["ResNet50", "ResNet152", "VGG19"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+}

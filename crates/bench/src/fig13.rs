@@ -1,0 +1,144 @@
+//! Figure 13: bandwidth overhead and scalability (§5.7).
+//!
+//! (a) One sender → one receiver: aggregate throughput split into goodput
+//!     and header overhead, ASK (1/2/4 data channels) vs NoAggr (MTU
+//!     packets). Paper: NoAggr 91.75 Gbps goodput with 2 cores; ASK
+//!     73.96 Gbps with 4 — ASK trades small packets for switch offload.
+//! (b) N senders → one receiver: per-sender throughput. ASK stays flat
+//!     (the switch absorbs most traffic); NoAggr decays as 1/N because the
+//!     receiver's link is the shared bottleneck (11.88 Gbps at 8 senders).
+
+use crate::output::{gbps, Table};
+use crate::runners::{run_ask, AskRun, Scale};
+use ask::prelude::*;
+use ask_simnet::link::LinkConfig;
+use ask_simnet::time::SimDuration;
+use ask_workloads::text::uniform_stream;
+
+fn link() -> LinkConfig {
+    LinkConfig::new(100e9, SimDuration::from_micros(1))
+}
+
+fn ask_report(
+    channels: usize,
+    senders: usize,
+    tuples_per_sender: u64,
+) -> crate::runners::AskReport {
+    let mut cfg = AskConfig::paper_default();
+    // §5.7 streams full 32-tuple packets (256 B payload, one pipeline).
+    cfg.layout = PacketLayout::short_only(32);
+    cfg.data_channels = channels;
+    cfg.region_aggregators = cfg.aggregators_per_aa / channels.max(1);
+    let run_cfg = AskRun {
+        tasks: channels,
+        ..AskRun::paper(cfg)
+    };
+    // A fixed 2 Ki keyspace: big enough to pack all 32 slots, small enough
+    // that the switch absorbs essentially all traffic. That matters beyond
+    // bandwidth: the rare forwarded packet is ACKed by the receiver with
+    // higher latency, and when it is the oldest in-flight packet it stalls
+    // the whole sliding window — so per-sender flatness (§5.7.2) requires
+    // near-total absorption, exactly as in the paper's microbenchmark.
+    let streams: Vec<Vec<KvTuple>> = (0..senders)
+        .map(|s| uniform_stream(13 + s as u64, 2048, tuples_per_sender))
+        .collect();
+    run_ask(&run_cfg, streams)
+}
+
+/// Regenerates Figure 13(a): goodput and overhead vs data channels.
+pub fn run_overhead(scale: Scale) -> String {
+    let tuples = scale.count(150_000, 1_500_000);
+    let mut t = Table::new(
+        "Figure 13(a) — single-pair throughput: goodput + overhead (Gbps)",
+        &["system", "goodput", "wire", "overhead"],
+    );
+    for channels in [1usize, 2, 4] {
+        let r = ask_report(channels, 1, tuples);
+        let good = r.sender_goodput_bps[0];
+        let wire = r.sender_wire_bps[0];
+        t.row(&[
+            format!("ASK {channels} dCh"),
+            gbps(good),
+            gbps(wire),
+            gbps(wire - good),
+        ]);
+    }
+    let no = ask_baselines::noaggr::run_noaggr(
+        1,
+        scale.count(40_000_000, 400_000_000),
+        link(),
+        SimDuration::from_nanos(110),
+    );
+    t.row(&[
+        "NoAggr (MTU)".to_string(),
+        gbps(no.per_sender_goodput_bps),
+        gbps(no.receiver_wire_bps),
+        gbps(no.receiver_wire_bps - no.per_sender_goodput_bps),
+    ]);
+    t.note(
+        "paper: NoAggr 91.75 Gbps goodput vs ASK 73.96 Gbps — ASK pays header overhead for offload",
+    );
+    t.render()
+}
+
+/// Regenerates Figure 13(b): per-sender throughput vs sender count.
+pub fn run_scalability(scale: Scale) -> String {
+    let tuples = scale.count(60_000, 600_000);
+    let mut t = Table::new(
+        "Figure 13(b) — per-sender wire throughput vs senders (Gbps)",
+        &["senders", "ASK", "NoAggr"],
+    );
+    for n in [1usize, 2, 4, 8] {
+        let ask = ask_report(4, n, tuples);
+        let mean_ask = ask.sender_wire_bps.iter().sum::<f64>() / n as f64;
+        let no = ask_baselines::noaggr::run_noaggr(
+            n,
+            scale.count(10_000_000, 100_000_000),
+            link(),
+            SimDuration::from_nanos(110),
+        );
+        t.row(&[
+            n.to_string(),
+            gbps(mean_ask),
+            gbps(no.per_sender_goodput_bps),
+        ]);
+    }
+    t.note("paper: ASK stays ≈ 92.6 Gbps per sender; NoAggr decays to 11.88 Gbps at 8 senders");
+    t.render()
+}
+
+/// Regenerates both panels.
+pub fn run(scale: Scale) -> String {
+    format!("{}\n{}", run_overhead(scale), run_scalability(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ask_per_sender_throughput_stays_flat() {
+        let one = ask_report(4, 1, 30_000);
+        let four = ask_report(4, 4, 30_000);
+        let t1 = one.sender_wire_bps[0];
+        let t4 = four.sender_wire_bps.iter().sum::<f64>() / 4.0;
+        assert!(
+            t4 > t1 * 0.6,
+            "ASK scalability: 1 sender {t1}, 4 senders {t4}"
+        );
+        assert!(
+            four.absorption() > 0.8,
+            "flatness comes from switch absorption: {}",
+            four.absorption()
+        );
+    }
+
+    #[test]
+    fn noaggr_per_sender_collapses() {
+        let one =
+            ask_baselines::noaggr::run_noaggr(1, 10_000_000, link(), SimDuration::from_nanos(110));
+        let eight =
+            ask_baselines::noaggr::run_noaggr(8, 10_000_000, link(), SimDuration::from_nanos(110));
+        assert!(one.per_sender_goodput_bps / eight.per_sender_goodput_bps > 6.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Figure 9: effectiveness of hot-key agnostic prioritization.
+//!
+//! Drives the switch [`AggregatorEngine`] directly (no network) with Zipf,
+//! reverse-Zipf, and uniform streams while sweeping the
+//! aggregator-to-distinct-key ratio, with and without periodic shadow-copy
+//! swapping.
+//!
+//! Paper shape: without prioritization, cold keys squat on aggregators and
+//! the switch-aggregation ratio tracks the memory ratio (Zipf ≫ Zipf
+//! reverse); with prioritization all orders improve dramatically — 95.85%
+//! on-switch aggregation at a 1/16 ratio.
+
+use crate::output::{pct, Table};
+use crate::runners::Scale;
+use ask::prelude::*;
+use ask::switch::DataVerdict;
+use ask_wire::packet::{ChannelId, DataPacket, FetchScope, SeqNo, TaskId};
+use ask_workloads::zipf::{zipf_stream, StreamOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLOTS: usize = 16;
+
+/// One measured configuration.
+fn measure(ranks: &[u64], total_aggregators: usize, prioritize: bool) -> f64 {
+    let mut cfg = AskConfig::paper_default();
+    cfg.layout = PacketLayout::short_only(SLOTS);
+    cfg.aggregators_per_aa = (total_aggregators / SLOTS).max(1);
+    cfg.region_aggregators = cfg.aggregators_per_aa;
+    cfg.max_channels = 4;
+    cfg.swap_threshold = 0; // swapping driven manually below
+    let mut engine = AggregatorEngine::new(cfg.clone());
+    let task = TaskId(1);
+    engine.register_task(task, 0).expect("region fits");
+
+    let packetizer = Packetizer::new(cfg.layout, 64);
+    let tuples: Vec<KvTuple> = ranks
+        .iter()
+        .map(|&r| KvTuple::new(Key::from_u64(r), 1))
+        .collect();
+    let stream = packetizer.packetize(tuples);
+
+    // The paper's swap threshold is "tunable" (§3.4); period it so the run
+    // sees plenty of eviction rounds regardless of workload size.
+    let total_packets = stream.data_payloads.len() as u64;
+    let swap_every = (total_packets / 128).clamp(16, 4096);
+    let mut fetch_seq = 0u32;
+    let mut seq = 0u64;
+    for payload in stream.data_payloads {
+        let pkt = DataPacket {
+            task,
+            channel: ChannelId(0),
+            seq: SeqNo(seq),
+            slots: payload,
+        };
+        seq += 1;
+        match engine.process_data(&pkt) {
+            DataVerdict::FullyAggregated | DataVerdict::Forward(_) => {}
+            DataVerdict::Stale => unreachable!("dense in-order feed"),
+        }
+        if prioritize && seq.is_multiple_of(swap_every) {
+            engine.swap(task);
+            fetch_seq += 1;
+            engine.fetch(task, FetchScope::Inactive, fetch_seq);
+        }
+    }
+    engine
+        .task_stats(task)
+        .expect("task registered")
+        .tuple_aggregation_ratio()
+}
+
+/// Regenerates Figure 9 (both panels).
+pub fn run(scale: Scale) -> String {
+    let distinct = scale.count(1 << 12, 1 << 16) as usize;
+    let total = scale.count(1 << 18, 1 << 22);
+    let mut rng = StdRng::seed_from_u64(9);
+    let streams = [
+        (
+            "Uniform",
+            zipf_stream(&mut rng, distinct, total, 0.0, StreamOrder::Shuffled),
+        ),
+        (
+            "Zipf",
+            zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::HotFirst),
+        ),
+        (
+            "Zipf-rev",
+            zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::ColdFirst),
+        ),
+    ];
+
+    let mut t = Table::new(
+        "Figure 9 — switch-aggregated tuple fraction vs aggregator/key ratio",
+        &[
+            "aggs/keys",
+            "Uniform (no prio)",
+            "Zipf (no prio)",
+            "Zipf-rev (no prio)",
+            "Uniform (prio)",
+            "Zipf (prio)",
+            "Zipf-rev (prio)",
+        ],
+    );
+    for shift in [8usize, 6, 4, 2, 0] {
+        let aggs = (distinct >> shift).max(SLOTS);
+        let mut cells = vec![format!("1/{}", 1 << shift)];
+        // The six configurations are independent simulations; run them on
+        // scoped threads (each builds its own engine).
+        let ratios: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = [false, true]
+                .into_iter()
+                .flat_map(|prio| {
+                    streams
+                        .iter()
+                        .map(move |(_, ranks)| (prio, ranks))
+                        .collect::<Vec<_>>()
+                })
+                .map(|(prio, ranks)| scope.spawn(move || measure(ranks, aggs, prio)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("measure")).collect()
+        });
+        cells.extend(ratios.into_iter().map(pct));
+        t.row(&cells);
+    }
+    t.note("paper: prioritization reaches 95.85% on-switch aggregation at a 1/16 ratio");
+    t.note(
+        "without prioritization, Zipf (hot keys first) beats Zipf-reverse — FCFS keeps early keys",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn streams(distinct: usize, total: u64) -> [(StreamOrder, Vec<u64>); 2] {
+        let mut rng = StdRng::seed_from_u64(1);
+        [
+            (
+                StreamOrder::HotFirst,
+                zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::HotFirst),
+            ),
+            (
+                StreamOrder::ColdFirst,
+                zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::ColdFirst),
+            ),
+        ]
+    }
+
+    #[test]
+    fn prioritization_improves_skewed_aggregation() {
+        let distinct = 1 << 10;
+        let [(_, hot), (_, cold)] = streams(distinct, 1 << 15);
+        let aggs = distinct / 16;
+        for ranks in [&hot, &cold] {
+            let without = measure(ranks, aggs, false);
+            let with = measure(ranks, aggs, true);
+            assert!(
+                with > without,
+                "prioritization must help: {with} vs {without}"
+            );
+        }
+    }
+
+    #[test]
+    fn prioritized_skewed_ratio_far_exceeds_memory_ratio() {
+        // Paper: 95.85% on-switch aggregation at a 1/16 aggregator-to-key
+        // ratio. The achievable ceiling tracks the workload's skew (the
+        // resident keys' share of the tuple mass); with a word-frequency-
+        // strength Zipf (s = 1.3), 1/16 of the memory must absorb the
+        // overwhelming majority of tuples.
+        let distinct = 1 << 10;
+        let mut rng = StdRng::seed_from_u64(2);
+        let ranks = zipf_stream(&mut rng, distinct, 1 << 15, 1.3, StreamOrder::Shuffled);
+        let with = measure(&ranks, distinct / 16, true);
+        let without = measure(&ranks, distinct / 16, false);
+        assert!(with > 0.70, "got {with}");
+        assert!(with > without, "prio {with} vs FCFS {without}");
+    }
+
+    #[test]
+    fn hot_first_beats_cold_first_without_prioritization() {
+        let distinct = 1 << 10;
+        let [(_, hot), (_, cold)] = streams(distinct, 1 << 15);
+        let aggs = distinct / 16;
+        let hot_ratio = measure(&hot, aggs, false);
+        let cold_ratio = measure(&cold, aggs, false);
+        assert!(
+            hot_ratio > cold_ratio,
+            "FCFS favors early hot keys: {hot_ratio} vs {cold_ratio}"
+        );
+    }
+
+    #[test]
+    fn ample_memory_aggregates_everything() {
+        let distinct = 1 << 8;
+        let mut rng = StdRng::seed_from_u64(3);
+        let ranks = zipf_stream(&mut rng, distinct, 1 << 12, 0.0, StreamOrder::Shuffled);
+        // 16x more aggregators than keys: hash collisions are rare.
+        let ratio = measure(&ranks, distinct * 16, false);
+        assert!(ratio > 0.95, "got {ratio}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Table 1: traffic reduction on the four production-trace stand-ins —
+//! fraction of key-value tuples aggregated by the switch, and fraction of
+//! data packets fully absorbed (switch-ACKed).
+//!
+//! Paper values: tuples 92.18 / 85.73 / 94.32 / 91.49 %, packets 72.01 /
+//! 84.35 / 90.36 / 88.59 % for yelp / NG / BAC / LMDB.
+
+use crate::output::{pct, Table};
+use crate::runners::{run_ask, AskRun, Scale};
+use ask::prelude::*;
+use ask_workloads::text::TextCorpus;
+
+/// Paper reference values per dataset (tuple %, packet %).
+pub const PAPER: [(&str, f64, f64); 4] = [
+    ("yelp", 0.9218, 0.7201),
+    ("NG", 0.8573, 0.8435),
+    ("BAC", 0.9432, 0.9036),
+    ("LMDB", 0.9149, 0.8859),
+];
+
+/// Regenerates Table 1.
+pub fn run(scale: Scale) -> String {
+    let tuples = scale.count(150_000, 2_000_000);
+    let mut t = Table::new(
+        "Table 1 — traffic reduction per dataset",
+        &[
+            "dataset",
+            "tuples aggregated",
+            "packets switch-ACKed",
+            "paper tuples",
+            "paper packets",
+        ],
+    );
+    for (corpus, (name, p_tuples, p_packets)) in TextCorpus::paper_datasets().into_iter().zip(PAPER)
+    {
+        assert_eq!(corpus.name, name);
+        let mut cfg = AskConfig::paper_default();
+        // Keep the switch-memory-to-distinct-keys pressure at the paper's
+        // operating point for the scaled tuple volume (the paper runs the
+        // full traces against a full 32×32768-aggregator pipeline).
+        // Capped at 16 Ki per copy — the most a Tofino3-class stage can
+        // hold with 4 arrays × 2 shadow copies of 64-bit aggregators.
+        cfg.aggregators_per_aa = (tuples as usize / 96).next_power_of_two().min(16 * 1024);
+        cfg.region_aggregators = cfg.aggregators_per_aa;
+        let run_cfg = AskRun::paper(cfg);
+        let streams = vec![corpus.stream(1, tuples / 2), corpus.stream(2, tuples / 2)];
+        let report = run_ask(&run_cfg, streams);
+        t.row(&[
+            name.to_string(),
+            pct(report.switch.tuple_aggregation_ratio()),
+            pct(report.switch.packet_absorption_ratio()),
+            pct(p_tuples),
+            pct(p_packets),
+        ]);
+    }
+    t.note(
+        "synthetic corpora calibrated to each trace's vocabulary size and Zipf skew (DESIGN.md)",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ask_workloads::text::TextCorpus;
+
+    #[test]
+    fn aggregation_ratios_land_in_paper_band() {
+        // One dataset at reduced volume: the switch absorbs the bulk of the
+        // tuples (paper band is 85–95%).
+        let corpus = TextCorpus::blog_authorship();
+        let run_cfg = AskRun::paper(AskConfig::paper_default());
+        let report = run_ask(&run_cfg, vec![corpus.stream(1, 40_000)]);
+        let ratio = report.switch.tuple_aggregation_ratio();
+        assert!(ratio > 0.75, "BAC absorption {ratio}");
+    }
+}

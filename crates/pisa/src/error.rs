@@ -1,0 +1,136 @@
+//! Errors for resource allocation and per-pass access checking.
+
+use core::fmt;
+
+/// Error returned when declaring a register array would exceed the hardware
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The stage index does not exist in this pipeline.
+    UnknownStage {
+        /// Requested stage.
+        stage: usize,
+        /// Number of stages in the pipeline.
+        stages: usize,
+    },
+    /// The stage already declares the maximum number of register arrays.
+    ArraySlotsExhausted {
+        /// The full stage.
+        stage: usize,
+        /// The per-stage array limit.
+        limit: usize,
+    },
+    /// The array's SRAM footprint does not fit in the stage's remaining
+    /// budget.
+    SramExhausted {
+        /// The stage that ran out.
+        stage: usize,
+        /// Bytes requested by this array.
+        requested: usize,
+        /// Bytes still available in the stage.
+        available: usize,
+    },
+    /// Register width outside the supported 1..=64 bits.
+    UnsupportedWidth {
+        /// The rejected width.
+        bits: u32,
+    },
+    /// Arrays must have at least one register.
+    EmptyArray,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::UnknownStage { stage, stages } => {
+                write!(f, "stage {stage} out of range (pipeline has {stages})")
+            }
+            AllocError::ArraySlotsExhausted { stage, limit } => {
+                write!(f, "stage {stage} already declares {limit} register arrays")
+            }
+            AllocError::SramExhausted {
+                stage,
+                requested,
+                available,
+            } => write!(
+                f,
+                "stage {stage} SRAM exhausted: requested {requested} B, {available} B available"
+            ),
+            AllocError::UnsupportedWidth { bits } => {
+                write!(f, "register width {bits} bits unsupported (1..=64)")
+            }
+            AllocError::EmptyArray => write!(f, "register arrays must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Error returned when a packet pass violates the PISA access model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessError {
+    /// A register array was accessed twice within one packet pass. Real
+    /// hardware allows exactly one read-modify-write per array per pass
+    /// (§2.2.1), which is the restriction that forces ASK's vectorized
+    /// two-dimensional aggregator layout.
+    DoubleAccess {
+        /// The offending array.
+        array: super::pipeline::ArrayId,
+    },
+    /// An array in an earlier stage was accessed after a later stage; a
+    /// packet traverses the stages strictly in order within one pass.
+    StageOrderViolation {
+        /// Stage of the array being accessed.
+        array_stage: usize,
+        /// Stage the pass has already advanced to.
+        current_stage: usize,
+    },
+    /// Register index outside the array bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Array length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::DoubleAccess { array } => {
+                write!(f, "register array {array:?} accessed twice in one pass")
+            }
+            AccessError::StageOrderViolation {
+                array_stage,
+                current_stage,
+            } => write!(
+                f,
+                "cannot access stage {array_stage} after advancing to stage {current_stage}"
+            ),
+            AccessError::IndexOutOfBounds { index, len } => {
+                write!(f, "register index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AllocError::SramExhausted {
+            stage: 3,
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("stage 3") && s.contains("100") && s.contains("10"));
+
+        let e = AccessError::IndexOutOfBounds { index: 9, len: 4 };
+        assert!(e.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Hardware resource envelopes for PISA pipelines.
+
+/// Static resource limits of one packet-processing pipeline.
+///
+/// The defaults mirror the figures the paper quotes for Intel Tofino:
+/// 16 match-action stages per pipeline, 1280 KB SRAM per stage, and at most
+/// 4 register (aggregator) arrays declared per stage (§3.2.1).
+///
+/// # Examples
+///
+/// ```
+/// use ask_pisa::spec::PipelineSpec;
+///
+/// let spec = PipelineSpec::tofino3();
+/// assert_eq!(spec.stages(), 16);
+/// assert_eq!(spec.sram_per_stage_bytes(), 1280 * 1024);
+/// assert_eq!(spec.max_arrays_per_stage(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSpec {
+    stages: usize,
+    sram_per_stage_bytes: usize,
+    max_arrays_per_stage: usize,
+}
+
+impl PipelineSpec {
+    /// A single Tofino3-like pipeline (16 stages × 1280 KB × 4 arrays).
+    pub fn tofino3() -> Self {
+        PipelineSpec {
+            stages: 16,
+            sram_per_stage_bytes: 1280 * 1024,
+            max_arrays_per_stage: 4,
+        }
+    }
+
+    /// A chain of `n` Tofino3-like pipelines.
+    ///
+    /// The paper notes that a switch's pipelines "can be used independently
+    /// or chained together to form a longer pipeline" (§4), which is how one
+    /// packet can carry up to 128 tuples. Chaining multiplies the stage count
+    /// while keeping per-stage resources unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn tofino3_chained(n: usize) -> Self {
+        assert!(n > 0, "need at least one pipeline");
+        let one = Self::tofino3();
+        PipelineSpec {
+            stages: one.stages * n,
+            ..one
+        }
+    }
+
+    /// A fully custom envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any limit is zero.
+    pub fn custom(stages: usize, sram_per_stage_bytes: usize, max_arrays_per_stage: usize) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        assert!(sram_per_stage_bytes > 0, "need some SRAM");
+        assert!(max_arrays_per_stage > 0, "need at least one array slot");
+        PipelineSpec {
+            stages,
+            sram_per_stage_bytes,
+            max_arrays_per_stage,
+        }
+    }
+
+    /// Number of match-action stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// SRAM budget per stage, in bytes.
+    pub fn sram_per_stage_bytes(&self) -> usize {
+        self.sram_per_stage_bytes
+    }
+
+    /// Maximum number of register arrays one stage may declare.
+    pub fn max_arrays_per_stage(&self) -> usize {
+        self.max_arrays_per_stage
+    }
+
+    /// Total SRAM across all stages, in bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.stages * self.sram_per_stage_bytes
+    }
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        PipelineSpec::tofino3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tofino3_matches_paper_envelope() {
+        let s = PipelineSpec::tofino3();
+        // "1280KB/stage × 16 stage/pipeline" (§3.2.1); ~20 MB/pipeline total.
+        assert_eq!(s.total_sram_bytes(), 16 * 1280 * 1024);
+    }
+
+    #[test]
+    fn chaining_multiplies_stages_only() {
+        let s = PipelineSpec::tofino3_chained(4);
+        assert_eq!(s.stages(), 64);
+        assert_eq!(s.sram_per_stage_bytes(), 1280 * 1024);
+        assert_eq!(s.max_arrays_per_stage(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pipeline")]
+    fn zero_chain_rejected() {
+        let _ = PipelineSpec::tofino3_chained(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_custom_rejected() {
+        let _ = PipelineSpec::custom(0, 1, 1);
+    }
+
+    #[test]
+    fn default_is_tofino3() {
+        assert_eq!(PipelineSpec::default(), PipelineSpec::tofino3());
+    }
+}

@@ -1,0 +1,139 @@
+//! The event queue driving the simulation.
+
+use crate::frame::{Frame, NodeId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// A frame arrives at `to`, having been sent by `from`.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        frame: Frame,
+    },
+    /// A timer set by `node` fires with an opaque `token`.
+    Timer { node: NodeId, token: u64 },
+}
+
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub(crate) at: SimTime,
+    /// Tie-breaker preserving FIFO order among same-instant events.
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we need earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Earliest-first queue of scheduled events with stable FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId::from_index(node),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), timer(0, 3));
+        q.push(SimTime::from_nanos(10), timer(0, 1));
+        q.push(SimTime::from_nanos(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            q.push(SimTime::from_nanos(5), timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(
+            SimTime::ZERO,
+            EventKind::Deliver {
+                from: NodeId::from_index(0),
+                to: NodeId::from_index(1),
+                frame: Frame::new(Bytes::new()),
+            },
+        );
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Point-to-point link model: bandwidth, propagation delay, fault injection.
+
+use crate::faults::FaultModel;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of one *directed* link.
+///
+/// A duplex connection is modelled as two directed links with (usually) the
+/// same configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ask_simnet::link::LinkConfig;
+///
+/// // A 100 Gbps link with 1 µs propagation delay, as in the paper's testbed.
+/// let cfg = LinkConfig::new(100e9, ask_simnet::time::SimDuration::from_micros(1));
+/// assert_eq!(cfg.bits_per_sec(), 100e9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    bits_per_sec: f64,
+    propagation: SimDuration,
+    faults: FaultModel,
+    ecn_threshold: Option<SimDuration>,
+    /// Maximum queueing delay the transmit queue may hold; frames arriving
+    /// beyond it are tail-dropped. `None` = unbounded (ideal) queue.
+    queue_limit: Option<SimDuration>,
+}
+
+impl LinkConfig {
+    /// Creates a lossless link with the given bandwidth and propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is not strictly positive and finite.
+    pub fn new(bits_per_sec: f64, propagation: SimDuration) -> Self {
+        assert!(
+            bits_per_sec.is_finite() && bits_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        LinkConfig {
+            bits_per_sec,
+            propagation,
+            faults: FaultModel::reliable(),
+            ecn_threshold: None,
+            queue_limit: None,
+        }
+    }
+
+    /// Bounds the transmit queue: a frame that would wait longer than
+    /// `limit` is tail-dropped instead of enqueued — how a real switch port
+    /// behaves when its buffer fills.
+    pub fn with_queue_limit(mut self, limit: SimDuration) -> Self {
+        self.queue_limit = Some(limit);
+        self
+    }
+
+    /// The tail-drop queue bound, if any.
+    pub fn queue_limit(&self) -> Option<SimDuration> {
+        self.queue_limit
+    }
+
+    /// Enables ECN marking: frames whose queueing delay at this link
+    /// exceeds `threshold` get the congestion-experienced mark.
+    pub fn with_ecn(mut self, threshold: SimDuration) -> Self {
+        self.ecn_threshold = Some(threshold);
+        self
+    }
+
+    /// The ECN marking threshold, if enabled.
+    pub fn ecn_threshold(&self) -> Option<SimDuration> {
+        self.ecn_threshold
+    }
+
+    /// Replaces the fault model (packet loss / duplication / reordering).
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Link bandwidth in bits per second.
+    pub fn bits_per_sec(&self) -> f64 {
+        self.bits_per_sec
+    }
+
+    /// One-way propagation delay.
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// The fault model applied to frames on this link.
+    pub fn faults(&self) -> &FaultModel {
+        &self.faults
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's bandwidth.
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bits_per_sec)
+    }
+}
+
+/// Runtime state of a directed link: FIFO serialization and byte counters.
+#[derive(Debug)]
+pub(crate) struct LinkState {
+    pub(crate) config: LinkConfig,
+    /// Earliest time the transmitter is free to start serializing a new frame.
+    pub(crate) next_free: SimTime,
+    pub(crate) stats: LinkStats,
+}
+
+impl LinkState {
+    pub(crate) fn new(config: LinkConfig) -> Self {
+        LinkState {
+            config,
+            next_free: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Computes the arrival time of a frame enqueued at `now`, advancing the
+    /// transmitter's busy horizon. Does not apply faults. Returns the
+    /// arrival time and whether the frame's queueing delay crossed the ECN
+    /// threshold.
+    pub(crate) fn schedule(&mut self, now: SimTime, wire_bytes: usize) -> ScheduleOutcome {
+        let start = now.max(self.next_free);
+        let queue_delay = start.saturating_since(now);
+        if let Some(limit) = self.config.queue_limit {
+            if queue_delay > limit {
+                self.stats.frames_tail_dropped += 1;
+                return ScheduleOutcome::TailDropped;
+            }
+        }
+        let done = start + self.config.serialization_delay(wire_bytes);
+        self.next_free = done;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += wire_bytes as u64;
+        let marked = match self.config.ecn_threshold {
+            Some(thr) => queue_delay > thr,
+            None => false,
+        };
+        if marked {
+            self.stats.frames_ecn_marked += 1;
+        }
+        ScheduleOutcome::Enqueued {
+            arrival: done + self.config.propagation(),
+            ecn: marked,
+        }
+    }
+}
+
+/// Result of handing a frame to a link's transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScheduleOutcome {
+    /// The frame was enqueued and will arrive at `arrival`.
+    Enqueued {
+        /// Delivery time at the receiver.
+        arrival: SimTime,
+        /// Whether the queueing delay crossed the ECN threshold.
+        ecn: bool,
+    },
+    /// The transmit queue was full; the frame is gone.
+    TailDropped,
+}
+
+/// Counters accumulated by a directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames handed to the transmitter (before fault injection).
+    pub frames_sent: u64,
+    /// Wire bytes handed to the transmitter (before fault injection).
+    pub bytes_sent: u64,
+    /// Frames actually delivered to the receiver.
+    pub frames_delivered: u64,
+    /// Frames dropped by the fault model.
+    pub frames_dropped: u64,
+    /// Extra copies injected by the duplication fault.
+    pub frames_duplicated: u64,
+    /// Frames that received the ECN congestion-experienced mark.
+    pub frames_ecn_marked: u64,
+    /// Frames tail-dropped by the bounded transmit queue.
+    pub frames_tail_dropped: u64,
+}
+
+impl LinkStats {
+    /// Average throughput over `elapsed`, in bits per second, based on bytes
+    /// handed to the transmitter.
+    pub fn throughput_bps(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 * 8.0 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LinkConfig {
+        LinkConfig::new(8e9, SimDuration::from_nanos(500)) // 1 byte/ns
+    }
+
+    #[test]
+    fn serialization_delay_matches_bandwidth() {
+        let c = cfg();
+        assert_eq!(c.serialization_delay(1000).as_nanos(), 1000);
+    }
+
+    #[test]
+    fn fifo_serialization_queues_back_to_back() {
+        let mut link = LinkState::new(cfg());
+        let t0 = SimTime::ZERO;
+        // Two 1000-byte frames enqueued at t=0: second waits for the first.
+        let ScheduleOutcome::Enqueued { arrival: a1, .. } = link.schedule(t0, 1000) else {
+            panic!("enqueued")
+        };
+        let ScheduleOutcome::Enqueued { arrival: a2, .. } = link.schedule(t0, 1000) else {
+            panic!("enqueued")
+        };
+        assert_eq!(a1.as_nanos(), 1000 + 500);
+        assert_eq!(a2.as_nanos(), 2000 + 500);
+        assert_eq!(link.stats.frames_sent, 2);
+        assert_eq!(link.stats.bytes_sent, 2000);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = LinkState::new(cfg());
+        link.schedule(SimTime::ZERO, 100);
+        // After the link drains, a later frame starts at its enqueue time.
+        let ScheduleOutcome::Enqueued { arrival, .. } =
+            link.schedule(SimTime::from_nanos(10_000), 100)
+        else {
+            panic!("enqueued")
+        };
+        assert_eq!(arrival.as_nanos(), 10_000 + 100 + 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkConfig::new(0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tail_drop_when_queue_exceeds_limit() {
+        let mut link = LinkState::new(cfg().with_queue_limit(SimDuration::from_nanos(1500)));
+        let t0 = SimTime::ZERO;
+        // Three 1000-byte frames (1 µs each at 8 Gbps): the third would
+        // wait 2 µs > 1.5 µs limit.
+        assert!(matches!(
+            link.schedule(t0, 1000),
+            ScheduleOutcome::Enqueued { .. }
+        ));
+        assert!(matches!(
+            link.schedule(t0, 1000),
+            ScheduleOutcome::Enqueued { .. }
+        ));
+        assert_eq!(link.schedule(t0, 1000), ScheduleOutcome::TailDropped);
+        assert_eq!(link.stats.frames_tail_dropped, 1);
+        assert_eq!(
+            link.stats.frames_sent, 2,
+            "dropped frames never count as sent"
+        );
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let mut link = LinkState::new(cfg());
+        link.schedule(SimTime::ZERO, 1_000_000);
+        let bps = link.stats.throughput_bps(SimDuration::from_millis(1));
+        assert!((bps - 8e9).abs() / 8e9 < 1e-9, "got {bps}");
+    }
+}

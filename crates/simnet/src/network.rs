@@ -1,0 +1,660 @@
+//! The simulated network: nodes, links, and the event loop.
+
+use crate::event::{EventKind, EventQueue};
+use crate::faults::FrameFate;
+use crate::frame::{Frame, NodeId};
+use crate::link::{LinkConfig, LinkState, LinkStats, ScheduleOutcome};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Behaviour attached to a simulated node.
+///
+/// A node reacts to incoming frames and to timers it has armed; it drives the
+/// simulation forward exclusively through the [`Context`] it is handed. The
+/// `Any` supertrait allows the harness to downcast a node back to its
+/// concrete type after the run (see [`Network::node`]).
+pub trait Node: Any {
+    /// Called once before the first event is processed.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a frame addressed to this node arrives.
+    fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {}
+}
+
+/// Engine state shared by all nodes (everything except the nodes themselves,
+/// so a node can be borrowed mutably while the engine is driven).
+#[derive(Debug)]
+struct Engine {
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: StdRng,
+    events_processed: u64,
+}
+
+impl Engine {
+    /// Enqueues `frame` on the directed link `from -> to`, applying the fault
+    /// model. Returns an error if the link does not exist.
+    fn send(&mut self, from: NodeId, to: NodeId, mut frame: Frame) -> Result<(), SendError> {
+        let now = self.now;
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .ok_or(SendError { from, to })?;
+        let (arrival, ecn) = match link.schedule(now, frame.wire_bytes()) {
+            ScheduleOutcome::Enqueued { arrival, ecn } => (arrival, ecn),
+            ScheduleOutcome::TailDropped => return Ok(()), // congestion loss
+        };
+        if ecn {
+            frame.set_ecn_marked(true);
+        }
+        match link.config.faults().clone().draw(&mut self.rng) {
+            FrameFate::Dropped => {
+                link.stats.frames_dropped += 1;
+            }
+            FrameFate::Delivered {
+                duplicated,
+                delay,
+                corrupted,
+            } => {
+                link.stats.frames_delivered += 1;
+                let delivered = if corrupted {
+                    let mut bytes = frame.payload().to_vec();
+                    if !bytes.is_empty() {
+                        // Deterministic position/bit from the shared RNG.
+                        use rand::Rng as _;
+                        let ix = self.rng.gen_range(0..bytes.len());
+                        let bit = 1u8 << self.rng.gen_range(0..8);
+                        bytes[ix] ^= bit;
+                    }
+                    let mut f =
+                        Frame::with_wire_bytes(bytes::Bytes::from(bytes), frame.wire_bytes());
+                    f.set_ecn_marked(frame.ecn_marked());
+                    f
+                } else {
+                    frame.clone()
+                };
+                self.queue.push(
+                    arrival + delay,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        frame: delivered,
+                    },
+                );
+                if duplicated {
+                    let link = self.links.get_mut(&(from, to)).expect("link exists");
+                    link.stats.frames_duplicated += 1;
+                    // The copy trails the original by one propagation delay.
+                    let extra = link.config.propagation();
+                    self.queue.push(
+                        arrival + delay + extra,
+                        EventKind::Deliver { from, to, frame },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when sending between nodes that are not linked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError {
+    /// The sending node.
+    pub from: NodeId,
+    /// The intended receiver.
+    pub to: NodeId,
+}
+
+impl core::fmt::Display for SendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no link from {} to {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Handle through which a node interacts with the simulation.
+#[derive(Debug)]
+pub struct Context<'a> {
+    engine: &'a mut Engine,
+    me: NodeId,
+}
+
+impl Context<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now
+    }
+
+    /// The id of the node being called.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Sends `frame` to the directly connected node `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if no directed link `self -> to` exists.
+    pub fn send(&mut self, to: NodeId, frame: Frame) -> Result<(), SendError> {
+        self.engine.send(self.me, to, frame)
+    }
+
+    /// Arms a one-shot timer that fires after `delay` with the given `token`.
+    ///
+    /// Timers cannot be cancelled; nodes are expected to ignore stale tokens.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.engine.now + delay;
+        self.engine.queue.push(
+            at,
+            EventKind::Timer {
+                node: self.me,
+                token,
+            },
+        );
+    }
+
+    /// Deterministic random source shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.engine.rng
+    }
+}
+
+/// Builder for a [`Network`] ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```
+/// use ask_simnet::prelude::*;
+/// use bytes::Bytes;
+///
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+///         ctx.send(from, frame).expect("linked");
+///     }
+/// }
+///
+/// let mut b = NetworkBuilder::new(1);
+/// let a = b.add_node(Echo);
+/// let c = b.add_node(Echo);
+/// b.connect(a, c, LinkConfig::new(1e9, SimDuration::from_micros(1)));
+/// let net = b.build();
+/// assert_eq!(net.node_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for dyn Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<node>")
+    }
+}
+
+impl NetworkBuilder {
+    /// Creates a builder whose simulation RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        id
+    }
+
+    /// Connects `a` and `b` with a duplex link (two directed links sharing
+    /// `config`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown, `a == b`, or the pair is already
+    /// connected.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.connect_directed(a, b, config.clone());
+        self.connect_directed(b, a, config);
+    }
+
+    /// Connects `a -> b` only, for asymmetric links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown, `a == b`, or the directed pair is
+    /// already connected.
+    pub fn connect_directed(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        assert!(a.index() < self.nodes.len(), "unknown node {a}");
+        assert!(b.index() < self.nodes.len(), "unknown node {b}");
+        assert_ne!(a, b, "self-links are not allowed");
+        let prev = self.links.insert((a, b), LinkState::new(config));
+        assert!(prev.is_none(), "{a} -> {b} already connected");
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Network {
+        Network {
+            nodes: self.nodes,
+            engine: Engine {
+                links: self.links,
+                queue: EventQueue::new(),
+                now: SimTime::ZERO,
+                rng: StdRng::seed_from_u64(self.seed),
+                events_processed: 0,
+            },
+            started: false,
+        }
+    }
+}
+
+/// A simulated network ready to run.
+pub struct Network {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    engine: Engine,
+    started: bool,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.engine.now)
+            .field("pending_events", &self.engine.queue.len())
+            .finish()
+    }
+}
+
+/// Why [`Network::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    Idle,
+    /// The time horizon passed; unprocessed events remain queued.
+    Deadline,
+    /// The event budget was exhausted (runaway-protection).
+    EventBudget,
+}
+
+impl Network {
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed
+    }
+
+    /// Counters of the directed link `a -> b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> LinkStats {
+        self.engine
+            .links
+            .get(&(a, b))
+            .unwrap_or_else(|| panic!("no link from {a} to {b}"))
+            .stats
+    }
+
+    /// Borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown, the node is of a different type, or the
+    /// node is currently being dispatched (re-entrant access).
+    pub fn node<N: Node>(&self, id: NodeId) -> &N {
+        let node = self.nodes[id.index()]
+            .as_deref()
+            .expect("node is being dispatched");
+        (node as &dyn Any)
+            .downcast_ref()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::node`].
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> &mut N {
+        let node = self.nodes[id.index()]
+            .as_deref_mut()
+            .expect("node is being dispatched");
+        (node as &mut dyn Any)
+            .downcast_mut()
+            .expect("node type mismatch")
+    }
+
+    /// Calls `f` with a node and a fresh [`Context`], letting harness code
+    /// inject work (e.g. submit an aggregation task) mid-simulation.
+    pub fn with_node<N: Node, T>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut Context<'_>) -> T,
+    ) -> T {
+        let mut node = self.nodes[id.index()]
+            .take()
+            .expect("node is being dispatched");
+        let mut ctx = Context {
+            engine: &mut self.engine,
+            me: id,
+        };
+        let concrete = (node.as_mut() as &mut dyn Any)
+            .downcast_mut()
+            .expect("node type mismatch");
+        let out = f(concrete, &mut ctx);
+        self.nodes[id.index()] = Some(node);
+        out
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for ix in 0..self.nodes.len() {
+            let id = NodeId::from_index(ix);
+            let mut node = self.nodes[ix].take().expect("node present at start");
+            let mut ctx = Context {
+                engine: &mut self.engine,
+                me: id,
+            };
+            node.on_start(&mut ctx);
+            self.nodes[ix] = Some(node);
+        }
+    }
+
+    /// Runs until the queue drains, `until` passes, or `max_events` fire —
+    /// whichever comes first. Pass `None` for no horizon / no budget.
+    pub fn run(&mut self, until: Option<SimTime>, max_events: Option<u64>) -> StopReason {
+        self.start_if_needed();
+        let budget_start = self.engine.events_processed;
+        loop {
+            if let Some(budget) = max_events {
+                if self.engine.events_processed - budget_start >= budget {
+                    return StopReason::EventBudget;
+                }
+            }
+            let Some(event) = self.engine.queue.pop() else {
+                return StopReason::Idle;
+            };
+            if let Some(deadline) = until {
+                if event.at > deadline {
+                    // Re-queue and stop: the event stays pending.
+                    self.engine.queue.push(event.at, event.kind);
+                    self.engine.now = deadline;
+                    return StopReason::Deadline;
+                }
+            }
+            debug_assert!(event.at >= self.engine.now, "time went backwards");
+            self.engine.now = event.at;
+            self.engine.events_processed += 1;
+            match event.kind {
+                EventKind::Deliver { from, to, frame } => {
+                    let mut node = self.nodes[to.index()].take().expect("node present");
+                    let mut ctx = Context {
+                        engine: &mut self.engine,
+                        me: to,
+                    };
+                    node.on_frame(from, frame, &mut ctx);
+                    self.nodes[to.index()] = Some(node);
+                }
+                EventKind::Timer { node: id, token } => {
+                    let mut node = self.nodes[id.index()].take().expect("node present");
+                    let mut ctx = Context {
+                        engine: &mut self.engine,
+                        me: id,
+                    };
+                    node.on_timer(token, &mut ctx);
+                    self.nodes[id.index()] = Some(node);
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_idle(&mut self) {
+        let reason = self.run(None, None);
+        debug_assert_eq!(reason, StopReason::Idle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    /// Sends `count` frames to a peer on start; counts echoes.
+    struct Pinger {
+        peer: Option<NodeId>,
+        count: usize,
+        echoes: usize,
+        last_rtt_ns: u64,
+        sent_at: SimTime,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if let Some(peer) = self.peer {
+                self.sent_at = ctx.now();
+                for _ in 0..self.count {
+                    ctx.send(peer, Frame::new(Bytes::from_static(b"ping")))
+                        .expect("linked");
+                }
+            }
+        }
+        fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+            if self.peer.is_some() {
+                self.echoes += 1;
+                self.last_rtt_ns = (ctx.now() - self.sent_at).as_nanos();
+            } else {
+                ctx.send(from, frame).expect("linked");
+            }
+        }
+    }
+
+    fn pinger(peer: Option<NodeId>, count: usize) -> Pinger {
+        Pinger {
+            peer,
+            count,
+            echoes: 0,
+            last_rtt_ns: 0,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut b = NetworkBuilder::new(0);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 1));
+        // 8 Gbps => 1 ns/byte; 4-byte frame; 500 ns propagation each way.
+        b.connect(
+            ping,
+            echo,
+            LinkConfig::new(8e9, SimDuration::from_nanos(500)),
+        );
+        let mut net = b.build();
+        net.run_to_idle();
+        let p: &Pinger = net.node(ping);
+        assert_eq!(p.echoes, 1);
+        // 2 × (4 ns serialization + 500 ns propagation)
+        assert_eq!(p.last_rtt_ns, 2 * (4 + 500));
+    }
+
+    #[test]
+    fn serialization_is_fifo_under_burst() {
+        let mut b = NetworkBuilder::new(0);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 100));
+        b.connect(ping, echo, LinkConfig::new(8e9, SimDuration::from_nanos(0)));
+        let mut net = b.build();
+        net.run_to_idle();
+        let p: &Pinger = net.node(ping);
+        assert_eq!(p.echoes, 100);
+        // The burst of 100 4-byte frames serializes back-to-back (400 ns),
+        // then the last echo serializes back (4 ns).
+        assert_eq!(p.last_rtt_ns, 100 * 4 + 4);
+    }
+
+    #[test]
+    fn lossy_link_drops_frames() {
+        let mut b = NetworkBuilder::new(3);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 10_000));
+        let lossy = LinkConfig::new(8e9, SimDuration::ZERO)
+            .with_faults(crate::faults::FaultModel::reliable().with_loss(0.5));
+        b.connect_directed(ping, echo, lossy);
+        b.connect_directed(echo, ping, LinkConfig::new(8e9, SimDuration::ZERO));
+        let mut net = b.build();
+        net.run_to_idle();
+        let stats = net.link_stats(ping, echo);
+        assert_eq!(stats.frames_sent, 10_000);
+        assert!(stats.frames_dropped > 4_500 && stats.frames_dropped < 5_500);
+        let p: &Pinger = net.node(ping);
+        assert_eq!(p.echoes as u64, stats.frames_delivered);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut b = NetworkBuilder::new(3);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 1000));
+        let dup = LinkConfig::new(8e9, SimDuration::from_nanos(10))
+            .with_faults(crate::faults::FaultModel::reliable().with_duplication(1.0));
+        b.connect_directed(ping, echo, dup);
+        b.connect_directed(
+            echo,
+            ping,
+            LinkConfig::new(8e9, SimDuration::from_nanos(10)),
+        );
+        let mut net = b.build();
+        net.run_to_idle();
+        let p: &Pinger = net.node(ping);
+        assert_eq!(p.echoes, 2000);
+    }
+
+    #[test]
+    fn deadline_stops_early_and_resumes() {
+        let mut b = NetworkBuilder::new(0);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 1));
+        b.connect(
+            ping,
+            echo,
+            LinkConfig::new(8e9, SimDuration::from_millis(10)),
+        );
+        let mut net = b.build();
+        let r = net.run(Some(SimTime::from_nanos(100)), None);
+        assert_eq!(r, StopReason::Deadline);
+        assert_eq!(net.node::<Pinger>(ping).echoes, 0);
+        let r = net.run(None, None);
+        assert_eq!(r, StopReason::Idle);
+        assert_eq!(net.node::<Pinger>(ping).echoes, 1);
+    }
+
+    #[test]
+    fn event_budget_stops() {
+        let mut b = NetworkBuilder::new(0);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 100));
+        b.connect(ping, echo, LinkConfig::new(8e9, SimDuration::ZERO));
+        let mut net = b.build();
+        let r = net.run(None, Some(5));
+        assert_eq!(r, StopReason::EventBudget);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_micros(3), 3);
+                ctx.set_timer(SimDuration::from_micros(1), 1);
+                ctx.set_timer(SimDuration::from_micros(2), 2);
+            }
+            fn on_frame(&mut self, _: NodeId, _: Frame, _: &mut Context<'_>) {}
+            fn on_timer(&mut self, token: u64, _: &mut Context<'_>) {
+                self.fired.push(token);
+            }
+        }
+        let mut b = NetworkBuilder::new(0);
+        let n = b.add_node(TimerNode { fired: vec![] });
+        let mut net = b.build();
+        net.run_to_idle();
+        assert_eq!(net.node::<TimerNode>(n).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_unlinked_node_errors() {
+        struct Lonely {
+            result: Option<Result<(), SendError>>,
+        }
+        impl Node for Lonely {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                self.result = Some(ctx.send(NodeId::from_index(1), Frame::new(Bytes::new())));
+            }
+            fn on_frame(&mut self, _: NodeId, _: Frame, _: &mut Context<'_>) {}
+        }
+        let mut b = NetworkBuilder::new(0);
+        let a = b.add_node(Lonely { result: None });
+        let _other = b.add_node(Lonely { result: None });
+        let mut net = b.build();
+        net.run_to_idle();
+        let got = net.node::<Lonely>(a).result.expect("ran");
+        assert!(got.is_err());
+        assert!(!got.unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn duplicate_link_rejected() {
+        let mut b = NetworkBuilder::new(0);
+        let a = b.add_node(pinger(None, 0));
+        let c = b.add_node(pinger(None, 0));
+        b.connect(a, c, LinkConfig::new(1e9, SimDuration::ZERO));
+        b.connect(a, c, LinkConfig::new(1e9, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn with_node_injects_work_mid_run() {
+        let mut b = NetworkBuilder::new(0);
+        let echo = b.add_node(pinger(None, 0));
+        let ping = b.add_node(pinger(Some(echo), 0));
+        b.connect(ping, echo, LinkConfig::new(8e9, SimDuration::ZERO));
+        let mut net = b.build();
+        net.run_to_idle();
+        net.with_node::<Pinger, _>(ping, |p, ctx| {
+            p.sent_at = ctx.now();
+            ctx.send(echo, Frame::new(Bytes::from_static(b"late")))
+                .expect("linked");
+        });
+        net.run_to_idle();
+        assert_eq!(net.node::<Pinger>(ping).echoes, 1);
+    }
+}

@@ -1,0 +1,740 @@
+//! Binary encoding of [`AskPacket`]s.
+//!
+//! The encoding is compact enough that the serialized size never exceeds the
+//! *nominal* wire size used for bandwidth accounting
+//! ([`AskPacket::wire_bytes`]), so frames can carry real bytes while the
+//! simulator charges the paper's 78-byte overhead model.
+//!
+//! Short and medium slots are encoded as fixed-width zero-padded key
+//! segments (exactly what the switch's `kPart` registers store), which is
+//! reversible because [`Key`]s never contain NUL bytes.
+
+use crate::key::{Key, KeyError, KPART_BYTES};
+use crate::packet::{
+    AaRegion, AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple,
+    PacketLayout, SeqNo, TaskId,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use core::fmt;
+
+const KIND_DATA: u8 = 0;
+const KIND_LONG_KV: u8 = 1;
+const KIND_ACK: u8 = 2;
+const KIND_FIN: u8 = 3;
+const KIND_SWAP: u8 = 4;
+const KIND_FETCH_REQ: u8 = 5;
+const KIND_FETCH_REPLY: u8 = 6;
+const KIND_CONTROL: u8 = 7;
+
+const CTRL_REGION_REQUEST: u8 = 0;
+const CTRL_REGION_GRANT: u8 = 1;
+const CTRL_REGION_DENY: u8 = 2;
+const CTRL_REGION_RELEASE: u8 = 3;
+const CTRL_TASK_ANNOUNCE: u8 = 4;
+
+/// Error decoding a byte buffer into an [`AskPacket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the packet was complete.
+    Truncated,
+    /// The envelope checksum did not match — the frame was corrupted in
+    /// transit and must be treated as lost.
+    ChecksumMismatch,
+    /// Unknown packet kind byte.
+    BadKind(u8),
+    /// Unknown control-message kind byte.
+    BadControlKind(u8),
+    /// A decoded key failed validation.
+    BadKey(KeyError),
+    /// Bytes remained after a complete packet.
+    TrailingBytes(usize),
+    /// A data packet declared an impossible slot layout.
+    BadLayout,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "packet truncated"),
+            CodecError::ChecksumMismatch => write!(f, "envelope checksum mismatch"),
+            CodecError::BadKind(k) => write!(f, "unknown packet kind {k}"),
+            CodecError::BadControlKind(k) => write!(f, "unknown control kind {k}"),
+            CodecError::BadKey(e) => write!(f, "invalid key: {e}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+            CodecError::BadLayout => write!(f, "invalid slot layout in data packet"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::BadKey(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<KeyError> for CodecError {
+    fn from(e: KeyError) -> Self {
+        CodecError::BadKey(e)
+    }
+}
+
+/// Serializes a packet. `layout` governs the slot widths of data packets.
+///
+/// # Panics
+///
+/// Panics if a [`DataPacket`]'s slot vector length differs from
+/// `layout.slot_count()`, or a slot carries a key wider than its slot.
+pub fn encode(packet: &AskPacket, layout: &PacketLayout) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match packet {
+        AskPacket::Data(d) => {
+            assert_eq!(
+                d.slots.len(),
+                layout.slot_count(),
+                "slot vector must match layout"
+            );
+            buf.put_u8(KIND_DATA);
+            buf.put_u32(d.task.0);
+            buf.put_u32(d.channel.0);
+            buf.put_u64(d.seq.0);
+            buf.put_u8(layout.short_slots() as u8);
+            buf.put_u8(layout.medium_groups() as u8);
+            buf.put_u8(layout.medium_segments() as u8);
+            buf.put_u128(d.bitmap());
+            for (i, slot) in d.slots.iter().enumerate() {
+                let Some(t) = slot else { continue };
+                let width = if layout.is_short_slot(i) {
+                    KPART_BYTES
+                } else {
+                    layout.medium_max_key_len()
+                };
+                assert!(
+                    t.key.len() <= width,
+                    "key {} too long for slot {i} (width {width})",
+                    t.key
+                );
+                let mut padded = vec![0u8; width];
+                padded[..t.key.len()].copy_from_slice(t.key.as_bytes());
+                buf.put_slice(&padded);
+                buf.put_u32(t.value);
+            }
+        }
+        AskPacket::LongKv {
+            task,
+            channel,
+            seq,
+            entries,
+        } => {
+            buf.put_u8(KIND_LONG_KV);
+            buf.put_u32(task.0);
+            buf.put_u32(channel.0);
+            buf.put_u64(seq.0);
+            put_entries(&mut buf, entries);
+        }
+        AskPacket::Ack { channel, seq, ece } => {
+            buf.put_u8(KIND_ACK);
+            buf.put_u32(channel.0);
+            buf.put_u64(seq.0);
+            buf.put_u8(*ece as u8);
+        }
+        AskPacket::Fin { task, channel, seq } => {
+            buf.put_u8(KIND_FIN);
+            buf.put_u32(task.0);
+            buf.put_u32(channel.0);
+            buf.put_u64(seq.0);
+        }
+        AskPacket::Swap { task } => {
+            buf.put_u8(KIND_SWAP);
+            buf.put_u32(task.0);
+        }
+        AskPacket::FetchRequest {
+            task,
+            scope,
+            fetch_seq,
+        } => {
+            buf.put_u8(KIND_FETCH_REQ);
+            buf.put_u32(task.0);
+            buf.put_u8(match scope {
+                FetchScope::Inactive => 0,
+                FetchScope::All => 1,
+            });
+            buf.put_u32(*fetch_seq);
+        }
+        AskPacket::FetchReply {
+            task,
+            fetch_seq,
+            entries,
+        } => {
+            buf.put_u8(KIND_FETCH_REPLY);
+            buf.put_u32(task.0);
+            buf.put_u32(*fetch_seq);
+            put_entries(&mut buf, entries);
+        }
+        AskPacket::Control(msg) => {
+            buf.put_u8(KIND_CONTROL);
+            match msg {
+                ControlMsg::RegionRequest { task, op } => {
+                    buf.put_u8(CTRL_REGION_REQUEST);
+                    buf.put_u32(task.0);
+                    buf.put_u8(op.to_code());
+                }
+                ControlMsg::RegionGrant { task, region } => {
+                    buf.put_u8(CTRL_REGION_GRANT);
+                    buf.put_u32(task.0);
+                    buf.put_u32(region.base);
+                    buf.put_u32(region.aggregators);
+                }
+                ControlMsg::RegionDeny { task } => {
+                    buf.put_u8(CTRL_REGION_DENY);
+                    buf.put_u32(task.0);
+                }
+                ControlMsg::RegionRelease { task } => {
+                    buf.put_u8(CTRL_REGION_RELEASE);
+                    buf.put_u32(task.0);
+                }
+                ControlMsg::TaskAnnounce { task, receiver } => {
+                    buf.put_u8(CTRL_TASK_ANNOUNCE);
+                    buf.put_u32(task.0);
+                    buf.put_u32(*receiver);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn put_entries(buf: &mut BytesMut, entries: &[KvTuple]) {
+    buf.put_u32(entries.len() as u32);
+    for t in entries {
+        buf.put_u16(t.key.len() as u16);
+        buf.put_slice(t.key.as_bytes());
+        buf.put_u32(t.value);
+    }
+}
+
+/// Deserializes a packet previously produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, unknown kinds, invalid keys, an
+/// impossible declared layout, or trailing bytes.
+pub fn decode(mut buf: Bytes) -> Result<AskPacket, CodecError> {
+    let packet = decode_inner(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes(buf.len()));
+    }
+    Ok(packet)
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
+    need(buf, 1)?;
+    let kind = buf.get_u8();
+    match kind {
+        KIND_DATA => {
+            need(buf, 4 + 4 + 8 + 3 + 16)?;
+            let task = TaskId(buf.get_u32());
+            let channel = ChannelId(buf.get_u32());
+            let seq = SeqNo(buf.get_u64());
+            let short_slots = buf.get_u8() as usize;
+            let medium_groups = buf.get_u8() as usize;
+            let medium_segments = buf.get_u8() as usize;
+            let slots_total = short_slots + medium_groups;
+            if slots_total == 0 || slots_total > 128 || (medium_groups > 0 && medium_segments < 2) {
+                return Err(CodecError::BadLayout);
+            }
+            let layout = PacketLayout::custom(short_slots, medium_groups, medium_segments);
+            let bitmap = buf.get_u128();
+            if slots_total < 128 && bitmap >> slots_total != 0 {
+                return Err(CodecError::BadLayout);
+            }
+            let mut slots = Vec::with_capacity(slots_total);
+            for i in 0..slots_total {
+                if bitmap & (1 << i) == 0 {
+                    slots.push(None);
+                    continue;
+                }
+                let width = if layout.is_short_slot(i) {
+                    KPART_BYTES
+                } else {
+                    layout.medium_max_key_len()
+                };
+                need(buf, width + 4)?;
+                let mut padded = vec![0u8; width];
+                buf.copy_to_slice(&mut padded);
+                while padded.last() == Some(&0) {
+                    padded.pop();
+                }
+                let key = Key::new(Bytes::from(padded))?;
+                let value = buf.get_u32();
+                slots.push(Some(KvTuple::new(key, value)));
+            }
+            Ok(AskPacket::Data(DataPacket {
+                task,
+                channel,
+                seq,
+                slots,
+            }))
+        }
+        KIND_LONG_KV => {
+            need(buf, 4 + 4 + 8)?;
+            let task = TaskId(buf.get_u32());
+            let channel = ChannelId(buf.get_u32());
+            let seq = SeqNo(buf.get_u64());
+            let entries = get_entries(buf)?;
+            Ok(AskPacket::LongKv {
+                task,
+                channel,
+                seq,
+                entries,
+            })
+        }
+        KIND_ACK => {
+            need(buf, 4 + 8 + 1)?;
+            Ok(AskPacket::Ack {
+                channel: ChannelId(buf.get_u32()),
+                seq: SeqNo(buf.get_u64()),
+                ece: buf.get_u8() != 0,
+            })
+        }
+        KIND_FIN => {
+            need(buf, 4 + 4 + 8)?;
+            Ok(AskPacket::Fin {
+                task: TaskId(buf.get_u32()),
+                channel: ChannelId(buf.get_u32()),
+                seq: SeqNo(buf.get_u64()),
+            })
+        }
+        KIND_SWAP => {
+            need(buf, 4)?;
+            Ok(AskPacket::Swap {
+                task: TaskId(buf.get_u32()),
+            })
+        }
+        KIND_FETCH_REQ => {
+            need(buf, 9)?;
+            let task = TaskId(buf.get_u32());
+            let scope = match buf.get_u8() {
+                0 => FetchScope::Inactive,
+                _ => FetchScope::All,
+            };
+            let fetch_seq = buf.get_u32();
+            Ok(AskPacket::FetchRequest {
+                task,
+                scope,
+                fetch_seq,
+            })
+        }
+        KIND_FETCH_REPLY => {
+            need(buf, 8)?;
+            let task = TaskId(buf.get_u32());
+            let fetch_seq = buf.get_u32();
+            let entries = get_entries(buf)?;
+            Ok(AskPacket::FetchReply {
+                task,
+                fetch_seq,
+                entries,
+            })
+        }
+        KIND_CONTROL => {
+            need(buf, 1)?;
+            let ctrl = buf.get_u8();
+            match ctrl {
+                CTRL_REGION_REQUEST => {
+                    need(buf, 5)?;
+                    Ok(AskPacket::Control(ControlMsg::RegionRequest {
+                        task: TaskId(buf.get_u32()),
+                        op: AggregateOp::from_code(buf.get_u8()),
+                    }))
+                }
+                CTRL_REGION_GRANT => {
+                    need(buf, 12)?;
+                    Ok(AskPacket::Control(ControlMsg::RegionGrant {
+                        task: TaskId(buf.get_u32()),
+                        region: AaRegion {
+                            base: buf.get_u32(),
+                            aggregators: buf.get_u32(),
+                        },
+                    }))
+                }
+                CTRL_REGION_DENY => {
+                    need(buf, 4)?;
+                    Ok(AskPacket::Control(ControlMsg::RegionDeny {
+                        task: TaskId(buf.get_u32()),
+                    }))
+                }
+                CTRL_REGION_RELEASE => {
+                    need(buf, 4)?;
+                    Ok(AskPacket::Control(ControlMsg::RegionRelease {
+                        task: TaskId(buf.get_u32()),
+                    }))
+                }
+                CTRL_TASK_ANNOUNCE => {
+                    need(buf, 8)?;
+                    Ok(AskPacket::Control(ControlMsg::TaskAnnounce {
+                        task: TaskId(buf.get_u32()),
+                        receiver: buf.get_u32(),
+                    }))
+                }
+                other => Err(CodecError::BadControlKind(other)),
+            }
+        }
+        other => Err(CodecError::BadKind(other)),
+    }
+}
+
+/// An [`AskPacket`] wrapped with source/destination addressing, the unit a
+/// host actually puts on the wire. The addresses stand in for the IP header
+/// the paper's packets carry ("the sender streams the packets to the
+/// receiver with the task ID and the destination IP address in the packet",
+/// §3.1); they are raw simulator node indices here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Originating node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// The carried packet.
+    pub packet: AskPacket,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(src: u32, dst: u32, packet: AskPacket) -> Self {
+        Envelope { src, dst, packet }
+    }
+
+    /// Nominal wire bytes (addressing is part of the 78-byte overhead).
+    pub fn wire_bytes(&self, layout: &PacketLayout) -> usize {
+        self.packet.wire_bytes(layout)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise) over a byte slice — the
+/// envelope's integrity check, standing in for the Ethernet FCS the
+/// simulator's framing-overhead constant already accounts for.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serializes an addressed packet, prepending a CRC-32 over the body so
+/// in-transit corruption is detected at the next hop and the frame is
+/// treated as lost (recovered by retransmission).
+///
+/// # Panics
+///
+/// Same conditions as [`encode`].
+pub fn encode_envelope(envelope: &Envelope, layout: &PacketLayout) -> Bytes {
+    let body = encode(&envelope.packet, layout);
+    let mut buf = BytesMut::with_capacity(12 + body.len());
+    buf.put_u32(0); // checksum placeholder
+    buf.put_u32(envelope.src);
+    buf.put_u32(envelope.dst);
+    buf.put_slice(&body);
+    let sum = crc32(&buf[4..]);
+    buf[0..4].copy_from_slice(&sum.to_be_bytes());
+    buf.freeze()
+}
+
+/// Deserializes an addressed packet produced by [`encode_envelope`],
+/// verifying the integrity checksum first.
+///
+/// # Errors
+///
+/// [`CodecError::ChecksumMismatch`] for corrupted frames; otherwise the
+/// same conditions as [`decode`].
+pub fn decode_envelope(mut bytes: Bytes) -> Result<Envelope, CodecError> {
+    need(&bytes, 12)?;
+    let expected = bytes.get_u32();
+    if crc32(&bytes) != expected {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let src = bytes.get_u32();
+    let dst = bytes.get_u32();
+    let packet = decode(bytes)?;
+    Ok(Envelope { src, dst, packet })
+}
+
+fn get_entries(buf: &mut Bytes) -> Result<Vec<KvTuple>, CodecError> {
+    need(buf, 4)?;
+    let count = buf.get_u32() as usize;
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        need(buf, 2)?;
+        let len = buf.get_u16() as usize;
+        need(buf, len + 4)?;
+        let key = Key::new(buf.copy_to_bytes(len))?;
+        let value = buf.get_u32();
+        entries.push(KvTuple::new(key, value));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(s: &str, v: u32) -> KvTuple {
+        KvTuple::new(Key::from_str(s).unwrap(), v)
+    }
+
+    fn roundtrip(p: &AskPacket, layout: &PacketLayout) {
+        let bytes = encode(p, layout);
+        let back = decode(bytes).expect("decode");
+        assert_eq!(&back, p);
+    }
+
+    #[test]
+    fn data_packet_roundtrips() {
+        let layout = PacketLayout::paper_default();
+        let mut slots = vec![None; layout.slot_count()];
+        slots[0] = Some(kv("ab", 7));
+        slots[3] = Some(kv("wxyz", 1));
+        slots[16] = Some(kv("mediumk", 42)); // 7-byte medium key
+        let p = AskPacket::Data(DataPacket {
+            task: TaskId(5),
+            channel: ChannelId(2),
+            seq: SeqNo(99),
+            slots,
+        });
+        roundtrip(&p, &layout);
+    }
+
+    #[test]
+    fn encoded_size_never_exceeds_nominal_wire_size() {
+        let layout = PacketLayout::paper_default();
+        let mut slots = Vec::new();
+        for i in 0..layout.slot_count() {
+            let name = format!("k{i:06}");
+            let s = if layout.is_short_slot(i) {
+                "abcd"
+            } else {
+                &name
+            };
+            slots.push(Some(kv(s, i as u32)));
+        }
+        let p = AskPacket::Data(DataPacket {
+            task: TaskId(0),
+            channel: ChannelId(0),
+            seq: SeqNo(0),
+            slots,
+        });
+        let encoded = encode(&p, &layout);
+        assert!(
+            encoded.len() <= p.wire_bytes(&layout),
+            "{} > {}",
+            encoded.len(),
+            p.wire_bytes(&layout)
+        );
+    }
+
+    #[test]
+    fn all_header_packets_roundtrip() {
+        let layout = PacketLayout::paper_default();
+        let packets = vec![
+            AskPacket::Ack {
+                channel: ChannelId(1),
+                seq: SeqNo(u64::MAX),
+                ece: true,
+            },
+            AskPacket::Fin {
+                task: TaskId(1),
+                channel: ChannelId(2),
+                seq: SeqNo(3),
+            },
+            AskPacket::Swap { task: TaskId(9) },
+            AskPacket::FetchRequest {
+                task: TaskId(4),
+                scope: FetchScope::Inactive,
+                fetch_seq: 1,
+            },
+            AskPacket::FetchRequest {
+                task: TaskId(4),
+                scope: FetchScope::All,
+                fetch_seq: 2,
+            },
+            AskPacket::Control(ControlMsg::RegionRequest {
+                task: TaskId(7),
+                op: AggregateOp::Max,
+            }),
+            AskPacket::Control(ControlMsg::RegionGrant {
+                task: TaskId(7),
+                region: AaRegion {
+                    base: 64,
+                    aggregators: 1024,
+                },
+            }),
+            AskPacket::Control(ControlMsg::RegionDeny { task: TaskId(7) }),
+            AskPacket::Control(ControlMsg::RegionRelease { task: TaskId(7) }),
+            AskPacket::Control(ControlMsg::TaskAnnounce {
+                task: TaskId(7),
+                receiver: 3,
+            }),
+        ];
+        for p in &packets {
+            roundtrip(p, &layout);
+        }
+    }
+
+    #[test]
+    fn long_kv_and_fetch_reply_roundtrip() {
+        let layout = PacketLayout::paper_default();
+        roundtrip(
+            &AskPacket::LongKv {
+                task: TaskId(1),
+                channel: ChannelId(1),
+                seq: SeqNo(12),
+                entries: vec![kv("a-very-long-key-beyond-eight", 5), kv("another1234", 6)],
+            },
+            &layout,
+        );
+        roundtrip(
+            &AskPacket::FetchReply {
+                task: TaskId(1),
+                fetch_seq: 3,
+                entries: vec![kv("x", 1)],
+            },
+            &layout,
+        );
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let layout = PacketLayout::paper_default();
+        let bytes = encode(
+            &AskPacket::Ack {
+                channel: ChannelId(1),
+                seq: SeqNo(2),
+                ece: false,
+            },
+            &layout,
+        );
+        for cut in 0..bytes.len() {
+            let err = decode(bytes.slice(0..cut)).unwrap_err();
+            assert_eq!(err, CodecError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let layout = PacketLayout::paper_default();
+        let mut v = encode(&AskPacket::Swap { task: TaskId(1) }, &layout).to_vec();
+        v.push(0xAA);
+        assert_eq!(
+            decode(Bytes::from(v)).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(
+            decode(Bytes::from_static(&[200])).unwrap_err(),
+            CodecError::BadKind(200)
+        );
+    }
+
+    #[test]
+    fn bad_layout_rejected() {
+        // Hand-craft a data packet header declaring zero slots.
+        let mut buf = BytesMut::new();
+        buf.put_u8(KIND_DATA);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u64(0);
+        buf.put_u8(0); // short
+        buf.put_u8(0); // medium groups
+        buf.put_u8(2); // m
+        buf.put_u128(0);
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadLayout);
+    }
+
+    #[test]
+    fn bitmap_beyond_slots_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(KIND_DATA);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u64(0);
+        buf.put_u8(2); // 2 short slots
+        buf.put_u8(0);
+        buf.put_u8(2);
+        buf.put_u128(0b100); // bit 2 set but only slots 0..2 exist
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadLayout);
+    }
+
+    #[test]
+    fn envelope_roundtrips_with_checksum() {
+        let layout = PacketLayout::paper_default();
+        let env = Envelope::new(3, 9, AskPacket::Swap { task: TaskId(5) });
+        let bytes = encode_envelope(&env, &layout);
+        assert_eq!(decode_envelope(bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let layout = PacketLayout::paper_default();
+        let env = Envelope::new(
+            1,
+            2,
+            AskPacket::Fin {
+                task: TaskId(1),
+                channel: ChannelId(2),
+                seq: SeqNo(3),
+            },
+        );
+        let bytes = encode_envelope(&env, &layout);
+        for byte_ix in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut v = bytes.to_vec();
+                v[byte_ix] ^= 1 << bit;
+                let got = decode_envelope(Bytes::from(v));
+                assert!(
+                    got != Ok(env.clone()),
+                    "flip at {byte_ix}.{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CodecError::Truncated,
+            CodecError::ChecksumMismatch,
+            CodecError::BadKind(1),
+            CodecError::BadControlKind(1),
+            CodecError::BadKey(KeyError::Empty),
+            CodecError::TrailingBytes(2),
+            CodecError::BadLayout,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Keys and their classification into short / medium / long (§3.2.3).
+
+use bytes::Bytes;
+use core::fmt;
+
+/// Bytes of an aggregator's key part (`kPart`); the paper uses 64-bit
+/// aggregators split into a 32-bit `kPart` and a 32-bit `vPart`.
+pub const KPART_BYTES: usize = 4;
+
+/// A validated aggregation key.
+///
+/// Keys are arbitrary non-empty byte strings that contain no NUL bytes.
+/// The NUL restriction exists because the switch stores key segments
+/// zero-padded to the aggregator width (§3.2.1: "If a key is less than n
+/// bits, ASK pads it"); forbidding NUL makes the padding reversible, so the
+/// receiver can reconstruct exact keys when fetching switch state.
+///
+/// # Examples
+///
+/// ```
+/// use ask_wire::key::Key;
+///
+/// let k = Key::from_str("hello")?;
+/// assert_eq!(k.len(), 5);
+/// # Ok::<(), ask_wire::key::KeyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(Bytes);
+
+/// Error building a [`Key`] from raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyError {
+    /// Keys must be non-empty.
+    Empty,
+    /// Keys must not contain NUL bytes (padding would be ambiguous).
+    ContainsNul,
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::Empty => write!(f, "keys must be non-empty"),
+            KeyError::ContainsNul => write!(f, "keys must not contain NUL bytes"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+impl Key {
+    /// Validates and wraps raw key bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] if `bytes` is empty or contains a NUL byte.
+    pub fn new(bytes: Bytes) -> Result<Self, KeyError> {
+        if bytes.is_empty() {
+            return Err(KeyError::Empty);
+        }
+        if bytes.contains(&0) {
+            return Err(KeyError::ContainsNul);
+        }
+        Ok(Key(bytes))
+    }
+
+    /// Builds a key from a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Key::new`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Result<Self, KeyError> {
+        Key::new(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    /// Builds a 4-byte key from an integer (useful for synthetic workloads
+    /// where keys are opaque ids). The encoding avoids NUL bytes by mapping
+    /// each base-255 digit to `1..=255`.
+    pub fn from_u64(mut v: u64) -> Self {
+        let mut out = Vec::with_capacity(8);
+        loop {
+            out.push((v % 255) as u8 + 1);
+            v /= 255;
+            if v == 0 {
+                break;
+            }
+        }
+        Key(Bytes::from(out))
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Byte length of the key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false — keys are validated non-empty — but provided for
+    /// completeness alongside [`Key::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Classifies the key given `m`, the number of coalesced aggregator
+    /// arrays per medium-key group (§3.2.3): short keys fit one `kPart`
+    /// (≤ 4 bytes), medium keys fit `m` coalesced `kPart`s, long keys bypass
+    /// the switch.
+    pub fn class(&self, medium_segments: usize) -> KeyClass {
+        let len = self.0.len();
+        if len <= KPART_BYTES {
+            KeyClass::Short
+        } else if len <= KPART_BYTES * medium_segments {
+            KeyClass::Medium
+        } else {
+            KeyClass::Long
+        }
+    }
+
+    /// Packs bytes `[4i, 4i+4)` of the key, zero-padded, into a `u32` — the
+    /// value stored in a `kPart` register. Segment 0 of a short key is the
+    /// whole key.
+    pub fn segment(&self, i: usize) -> u32 {
+        let mut word = [0u8; KPART_BYTES];
+        let start = i * KPART_BYTES;
+        if start < self.0.len() {
+            let end = (start + KPART_BYTES).min(self.0.len());
+            word[..end - start].copy_from_slice(&self.0[start..end]);
+        }
+        u32::from_be_bytes(word)
+    }
+
+    /// Number of `kPart` segments the key occupies.
+    pub fn segments(&self) -> usize {
+        self.0.len().div_ceil(KPART_BYTES)
+    }
+
+    /// Reconstructs a key from packed segments (inverse of [`Key::segment`]),
+    /// stripping zero padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] if the segments decode to an invalid key (all
+    /// padding, or an embedded NUL, which cannot come from a valid key).
+    pub fn from_segments(segments: &[u32]) -> Result<Self, KeyError> {
+        let mut out = Vec::with_capacity(segments.len() * KPART_BYTES);
+        for seg in segments {
+            out.extend_from_slice(&seg.to_be_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        Key::new(Bytes::from(out))
+    }
+
+    /// A stable 64-bit hash of the key (FNV-1a), used for subspace
+    /// partitioning and aggregator indexing. Deterministic across runs so
+    /// simulations are reproducible.
+    pub fn hash64(&self) -> u64 {
+        fnv1a(&self.0)
+    }
+
+    /// Inverse of [`Key::from_u64`]: decodes the integer a key encodes, or
+    /// `None` if the key was not produced by `from_u64` (some byte outside
+    /// the base-255 digit alphabet, or a value overflowing `u64`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ask_wire::key::Key;
+    ///
+    /// assert_eq!(Key::from_u64(123_456).to_u64(), Some(123_456));
+    /// ```
+    pub fn to_u64(&self) -> Option<u64> {
+        let mut value: u64 = 0;
+        let mut mul: u64 = 1;
+        for (i, &b) in self.0.iter().enumerate() {
+            if b == 0 {
+                return None;
+            }
+            let digit = (b - 1) as u64;
+            value = value.checked_add(digit.checked_mul(mul)?)?;
+            if i + 1 < self.0.len() {
+                mul = mul.checked_mul(255)?;
+            }
+        }
+        Some(value)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match core::str::from_utf8(&self.0) {
+            Ok(s) => write!(f, "{s:?}"),
+            Err(_) => write!(f, "{:02x?}", &self.0[..]),
+        }
+    }
+}
+
+impl AsRef<[u8]> for Key {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// FNV-1a over a byte slice.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Size class of a key relative to the aggregator layout (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyClass {
+    /// Fits one `kPart` (≤ 4 bytes): handled by a single aggregator array.
+    Short,
+    /// Fits `m` coalesced `kPart`s: handled by a medium-key group.
+    Medium,
+    /// Too long for the switch: bypasses INA, aggregated at the receiver.
+    Long,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_keys() {
+        assert_eq!(Key::new(Bytes::new()).unwrap_err(), KeyError::Empty);
+        assert_eq!(
+            Key::new(Bytes::from_static(b"a\0b")).unwrap_err(),
+            KeyError::ContainsNul
+        );
+        assert!(!Key::from_str("ok").unwrap().is_empty());
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        let m = 2; // medium keys are 5..=8 bytes
+        assert_eq!(Key::from_str("abcd").unwrap().class(m), KeyClass::Short);
+        assert_eq!(Key::from_str("abcde").unwrap().class(m), KeyClass::Medium);
+        assert_eq!(
+            Key::from_str("abcdefgh").unwrap().class(m),
+            KeyClass::Medium
+        );
+        assert_eq!(Key::from_str("abcdefghi").unwrap().class(m), KeyClass::Long);
+    }
+
+    #[test]
+    fn segments_pack_and_unpack() {
+        let k = Key::from_str("yours").unwrap();
+        assert_eq!(k.segments(), 2);
+        let segs: Vec<u32> = (0..2).map(|i| k.segment(i)).collect();
+        assert_eq!(segs[0], u32::from_be_bytes(*b"your"));
+        assert_eq!(segs[1], u32::from_be_bytes([b's', 0, 0, 0]));
+        assert_eq!(Key::from_segments(&segs).unwrap(), k);
+    }
+
+    #[test]
+    fn distinct_long_keys_have_distinct_first_segments_hashing() {
+        // "yours" and "yourself" share the "your" prefix; coalesced
+        // placement distinguishes them by hashing the *whole* key.
+        let a = Key::from_str("yours").unwrap();
+        let b = Key::from_str("yourself").unwrap();
+        assert_eq!(a.segment(0), b.segment(0));
+        assert_ne!(a.hash64(), b.hash64());
+    }
+
+    #[test]
+    fn from_u64_roundtrips_uniqueness() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..10_000u64 {
+            let k = Key::from_u64(v);
+            assert!(seen.insert(k.clone()), "collision at {v} ({k})");
+            assert!(k.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn from_u64_has_no_nul() {
+        for v in [0u64, 1, 254, 255, 256, 65_535, u64::MAX] {
+            let k = Key::from_u64(v);
+            assert!(!k.as_bytes().contains(&0));
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Key::from_str("x").unwrap().to_string().is_empty());
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Pin the FNV-1a value so cross-run determinism is explicit.
+        assert_eq!(Key::from_str("hello").unwrap().hash64(), fnv1a(b"hello"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,90 @@
+//! HPC collective workloads: `MPI_Reduce`-style dense vectors and
+//! OmniReduce-style sparse vectors — the value-stream patterns the paper's
+//! introduction cites for high-performance computing.
+
+use ask_wire::key::Key;
+use ask_wire::packet::KvTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense reduce: every rank contributes a value for every element index.
+///
+/// Returned as `ranks` streams of `(index-key, value)` tuples — the
+/// value-stream special case of key-value aggregation (§2.1.2).
+pub fn dense_reduce(seed: u64, ranks: usize, elements: u64) -> Vec<Vec<KvTuple>> {
+    assert!(ranks > 0 && elements > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ranks)
+        .map(|_| {
+            (0..elements)
+                .map(|i| KvTuple::new(Key::from_u64(i), rng.gen_range(1..100)))
+                .collect()
+        })
+        .collect()
+}
+
+/// A sparse reduce: each rank contributes values for a random subset of the
+/// index space (density in `(0, 1]`), as in sparse gradient exchange.
+///
+/// Sparsity is where key-value INA beats index-synchronized value-stream
+/// INA: ranks' indices differ, so the aggregation is genuinely
+/// asynchronous (§2.1.3).
+///
+/// # Panics
+///
+/// Panics if `density` is outside `(0, 1]`.
+pub fn sparse_reduce(seed: u64, ranks: usize, elements: u64, density: f64) -> Vec<Vec<KvTuple>> {
+    assert!(ranks > 0 && elements > 0);
+    assert!(density > 0.0 && density <= 1.0, "density in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ranks)
+        .map(|_| {
+            let mut stream = Vec::with_capacity((elements as f64 * density) as usize + 1);
+            for i in 0..elements {
+                if rng.gen_bool(density) {
+                    stream.push(KvTuple::new(Key::from_u64(i), rng.gen_range(1..100)));
+                }
+            }
+            stream
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn dense_covers_every_index_on_every_rank() {
+        let streams = dense_reduce(1, 3, 64);
+        assert_eq!(streams.len(), 3);
+        for s in &streams {
+            let idx: HashSet<_> = s.iter().map(|t| t.key.clone()).collect();
+            assert_eq!(idx.len(), 64);
+        }
+    }
+
+    #[test]
+    fn sparse_density_is_respected() {
+        let streams = sparse_reduce(2, 4, 10_000, 0.1);
+        for s in &streams {
+            let frac = s.len() as f64 / 10_000.0;
+            assert!((0.07..0.13).contains(&frac), "density {frac}");
+        }
+    }
+
+    #[test]
+    fn sparse_ranks_differ_in_indices() {
+        let streams = sparse_reduce(3, 2, 1000, 0.2);
+        let a: HashSet<_> = streams[0].iter().map(|t| t.key.clone()).collect();
+        let b: HashSet<_> = streams[1].iter().map(|t| t.key.clone()).collect();
+        assert_ne!(a, b, "asynchronous index sets");
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_rejected() {
+        let _ = sparse_reduce(1, 1, 10, 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Database aggregation workloads: `SELECT group, SUM(x) ... GROUP BY` over
+//! a synthetic orders table — the `SUM()` scenario the paper's introduction
+//! cites for databases (TPC-H-style).
+//!
+//! The generator models a denormalized orders table: each row has a
+//! low-cardinality group dimension (e.g. market segment × nation), an
+//! integer measure, and realistic group-size skew (a few segments dominate
+//! order volume).
+
+use crate::zipf::ZipfSampler;
+use ask_wire::key::Key;
+use ask_wire::packet::KvTuple;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic `GROUP BY` aggregation query workload.
+#[derive(Debug, Clone)]
+pub struct GroupByQuery {
+    /// Distinct group keys (aggregation cardinality).
+    pub groups: usize,
+    /// Zipf exponent of the rows-per-group distribution.
+    pub group_skew: f64,
+    /// Maximum measure value per row (uniform in `1..=max_measure`).
+    pub max_measure: u32,
+}
+
+impl GroupByQuery {
+    /// A TPC-H-Q1-like shape: few groups, heavy rows.
+    pub fn tpch_q1_like() -> Self {
+        GroupByQuery {
+            groups: 6,
+            group_skew: 0.2,
+            max_measure: 100,
+        }
+    }
+
+    /// A high-cardinality rollup (e.g. revenue per customer).
+    pub fn per_customer_rollup(customers: usize) -> Self {
+        GroupByQuery {
+            groups: customers,
+            group_skew: 1.1,
+            max_measure: 50,
+        }
+    }
+
+    /// Generates `rows` table rows as `(group key, measure)` tuples.
+    ///
+    /// Group keys are readable strings (`"g<rank>"`), so the workload mixes
+    /// short and medium keys like real dimension values.
+    pub fn rows(&self, seed: u64, rows: u64) -> Vec<KvTuple> {
+        let sampler = ZipfSampler::new(self.groups, self.group_skew);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdb);
+        (0..rows)
+            .map(|_| {
+                let g = sampler.sample(&mut rng);
+                let key = Key::new(Bytes::from(format!("g{g}"))).expect("non-empty ASCII");
+                KvTuple::new(key, rng.gen_range(1..=self.max_measure))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn q1_like_has_few_groups() {
+        let q = GroupByQuery::tpch_q1_like();
+        let rows = q.rows(1, 10_000);
+        let groups: HashSet<_> = rows.iter().map(|t| t.key.clone()).collect();
+        assert!(groups.len() <= 6);
+        assert!(rows.iter().all(|t| (1..=100).contains(&t.value)));
+    }
+
+    #[test]
+    fn rollup_spans_cardinality() {
+        let q = GroupByQuery::per_customer_rollup(5_000);
+        let rows = q.rows(2, 50_000);
+        let groups: HashSet<_> = rows.iter().map(|t| t.key.clone()).collect();
+        assert!(groups.len() > 2_000, "got {}", groups.len());
+    }
+
+    #[test]
+    fn skew_concentrates_rows() {
+        let q = GroupByQuery::per_customer_rollup(1000);
+        let rows = q.rows(3, 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for t in &rows {
+            *counts.entry(t.key.clone()).or_insert(0u64) += 1;
+        }
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = v.iter().take(10).sum();
+        assert!(
+            top10 as f64 / rows.len() as f64 > 0.15,
+            "zipf 1.1: top-10 groups carry a large share"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = GroupByQuery::tpch_q1_like();
+        assert_eq!(q.rows(7, 100), q.rows(7, 100));
+        assert_ne!(q.rows(7, 100), q.rows(8, 100));
+    }
+}

@@ -1,0 +1,50 @@
+//! # ask-workloads — datasets and trace generators for the ASK reproduction
+//!
+//! Deterministic, seedable generators for every workload in the paper's
+//! evaluation:
+//!
+//! - [`zipf`]: exact bounded Zipf sampling and the hot-first / cold-first /
+//!   shuffled stream arrangements of §5.4 (Figure 9);
+//! - [`text`]: synthetic stand-ins for the yelp / NG / BAC / LMDB word
+//!   traces (Table 1, Figure 8(b)), reproducing their frequency skew and
+//!   word-length mix;
+//! - [`wordcount`]: the HiBench-style WordCount job shapes of §5.2 and §5.5
+//!   (Figures 7, 10, 11);
+//! - [`models`]: the six ImageNet models of the distributed-training
+//!   comparison (Figure 12);
+//! - [`database`] and [`collective`]: the `GROUP BY SUM()` and
+//!   `MPI_Reduce` scenarios the paper's introduction cites;
+//! - [`stats`]: stream profiling (distinct keys, fitted Zipf exponent,
+//!   key-class mix) for calibrating generators against trace descriptions;
+//! - [`trace`]: a plain-text format for saving and replaying streams.
+//!
+//! ```
+//! use ask_workloads::text::TextCorpus;
+//!
+//! let stream = TextCorpus::yelp().stream(42, 1000);
+//! assert_eq!(stream.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collective;
+pub mod database;
+pub mod models;
+pub mod stats;
+pub mod text;
+pub mod trace;
+pub mod wordcount;
+pub mod zipf;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::collective::{dense_reduce, sparse_reduce};
+    pub use crate::database::GroupByQuery;
+    pub use crate::models::ModelSpec;
+    pub use crate::stats::{profile, StreamProfile};
+    pub use crate::text::{uniform_stream, word_for_rank, TextCorpus};
+    pub use crate::trace::{parse_trace, render_trace, TraceError};
+    pub use crate::wordcount::WordCountJob;
+    pub use crate::zipf::{zipf_stream, StreamOrder, ZipfSampler};
+}

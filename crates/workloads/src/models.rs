@@ -1,0 +1,156 @@
+//! Deep-learning model descriptions for the distributed-training
+//! experiments (Figure 12).
+//!
+//! The paper trains ResNet-50/101/152 and VGG-11/16/19 on ImageNet with one
+//! RTX 2080 Ti per worker. For the reproduction we need two numbers per
+//! model: the gradient volume exchanged per iteration (the parameter count)
+//! and the per-GPU compute throughput (images/s without any communication),
+//! both taken from the models' well-known published characteristics.
+
+/// One trainable model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Trainable parameters (gradient elements per iteration).
+    pub parameters: u64,
+    /// Single-GPU training throughput in images/s on an RTX 2080 Ti-class
+    /// accelerator (compute only, fp32).
+    pub gpu_images_per_sec: f64,
+    /// Per-worker minibatch size.
+    pub batch_size: u64,
+}
+
+impl ModelSpec {
+    /// ResNet-50 (25.6 M parameters).
+    pub fn resnet50() -> Self {
+        ModelSpec {
+            name: "ResNet50",
+            parameters: 25_557_032,
+            gpu_images_per_sec: 300.0,
+            batch_size: 64,
+        }
+    }
+
+    /// ResNet-101 (44.5 M parameters).
+    pub fn resnet101() -> Self {
+        ModelSpec {
+            name: "ResNet101",
+            parameters: 44_549_160,
+            gpu_images_per_sec: 180.0,
+            batch_size: 64,
+        }
+    }
+
+    /// ResNet-152 (60.2 M parameters).
+    pub fn resnet152() -> Self {
+        ModelSpec {
+            name: "ResNet152",
+            parameters: 60_192_808,
+            gpu_images_per_sec: 125.0,
+            batch_size: 64,
+        }
+    }
+
+    /// VGG-11 (132.9 M parameters).
+    pub fn vgg11() -> Self {
+        ModelSpec {
+            name: "VGG11",
+            parameters: 132_863_336,
+            gpu_images_per_sec: 380.0,
+            batch_size: 64,
+        }
+    }
+
+    /// VGG-16 (138.4 M parameters).
+    pub fn vgg16() -> Self {
+        ModelSpec {
+            name: "VGG16",
+            parameters: 138_357_544,
+            gpu_images_per_sec: 240.0,
+            batch_size: 64,
+        }
+    }
+
+    /// VGG-19 (143.7 M parameters).
+    pub fn vgg19() -> Self {
+        ModelSpec {
+            name: "VGG19",
+            parameters: 143_667_240,
+            gpu_images_per_sec: 200.0,
+            batch_size: 64,
+        }
+    }
+
+    /// The six models of Figure 12, in its order.
+    pub fn paper_models() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::resnet50(),
+            ModelSpec::resnet101(),
+            ModelSpec::resnet152(),
+            ModelSpec::vgg11(),
+            ModelSpec::vgg16(),
+            ModelSpec::vgg19(),
+        ]
+    }
+
+    /// Gradient bytes exchanged per iteration (fp32).
+    pub fn gradient_bytes(&self) -> u64 {
+        self.parameters * 4
+    }
+
+    /// Seconds of pure GPU compute per iteration.
+    pub fn compute_seconds_per_iteration(&self) -> f64 {
+        self.batch_size as f64 / self.gpu_images_per_sec
+    }
+
+    /// Communication-to-computation intensity: gradient megabytes per second
+    /// of compute. VGGs are far more communication-bound than ResNets, which
+    /// is why INA helps them most.
+    pub fn comm_intensity(&self) -> f64 {
+        self.gradient_bytes() as f64 / 1e6 / self.compute_seconds_per_iteration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_ordered_and_distinct() {
+        let models = ModelSpec::paper_models();
+        assert_eq!(models.len(), 6);
+        let names: Vec<&str> = models.iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ResNet50",
+                "ResNet101",
+                "ResNet152",
+                "VGG11",
+                "VGG16",
+                "VGG19"
+            ]
+        );
+    }
+
+    #[test]
+    fn vggs_are_more_communication_bound() {
+        assert!(ModelSpec::vgg16().comm_intensity() > ModelSpec::resnet50().comm_intensity());
+        assert!(ModelSpec::vgg19().comm_intensity() > ModelSpec::resnet152().comm_intensity());
+    }
+
+    #[test]
+    fn deeper_models_compute_slower() {
+        assert!(
+            ModelSpec::resnet152().gpu_images_per_sec < ModelSpec::resnet50().gpu_images_per_sec
+        );
+        assert!(ModelSpec::vgg19().gpu_images_per_sec < ModelSpec::vgg11().gpu_images_per_sec);
+    }
+
+    #[test]
+    fn gradient_bytes_are_4x_params() {
+        let m = ModelSpec::resnet50();
+        assert_eq!(m.gradient_bytes(), m.parameters * 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Workload statistics: the properties of a key-value stream that determine
+//! how well ASK will aggregate it (distinct keys, frequency skew, key-class
+//! mix). Used to characterize synthetic traces against the paper's
+//! descriptions and to sanity-check generator calibration.
+
+use ask_wire::key::{Key, KeyClass};
+use ask_wire::packet::KvTuple;
+use std::collections::HashMap;
+
+/// Summary statistics of a key-value stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamProfile {
+    /// Total tuples.
+    pub tuples: u64,
+    /// Distinct keys.
+    pub distinct: u64,
+    /// Fraction of tuples whose key appears exactly once (pure cold tail).
+    pub singleton_fraction: f64,
+    /// Fraction of tuples carried by the top 1% most frequent keys.
+    pub top1pct_mass: f64,
+    /// Least-squares Zipf exponent fit on the log rank–frequency curve.
+    pub zipf_exponent: f64,
+    /// Tuple fractions per key class `(short, medium, long)` for `m = 2`.
+    pub class_mix: (f64, f64, f64),
+    /// Mean key length in bytes.
+    pub mean_key_len: f64,
+}
+
+/// Profiles a stream.
+///
+/// # Panics
+///
+/// Panics if the stream is empty.
+pub fn profile(stream: &[KvTuple]) -> StreamProfile {
+    assert!(!stream.is_empty(), "cannot profile an empty stream");
+    let mut counts: HashMap<&Key, u64> = HashMap::new();
+    let mut len_sum = 0u64;
+    let mut class = [0u64; 3];
+    for t in stream {
+        *counts.entry(&t.key).or_insert(0) += 1;
+        len_sum += t.key.len() as u64;
+        match t.key.class(2) {
+            KeyClass::Short => class[0] += 1,
+            KeyClass::Medium => class[1] += 1,
+            KeyClass::Long => class[2] += 1,
+        }
+    }
+    let tuples = stream.len() as u64;
+    let mut freqs: Vec<u64> = counts.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+
+    let singletons = freqs.iter().filter(|&&c| c == 1).count() as u64;
+    let top = (freqs.len().div_ceil(100)).max(1);
+    let top_mass: u64 = freqs.iter().take(top).sum();
+
+    // Zipf fit: regress log(freq) on log(rank+1) over the non-singleton
+    // head (the tail is quantized at 1 and would bias the slope).
+    let head: Vec<(f64, f64)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 1)
+        .map(|(r, &c)| (((r + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    let zipf_exponent = if head.len() < 2 {
+        0.0
+    } else {
+        let n = head.len() as f64;
+        let sx: f64 = head.iter().map(|(x, _)| x).sum();
+        let sy: f64 = head.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = head.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = head.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            -((n * sxy - sx * sy) / denom)
+        }
+    };
+
+    StreamProfile {
+        tuples,
+        distinct: freqs.len() as u64,
+        singleton_fraction: singletons as f64 / tuples as f64,
+        top1pct_mass: top_mass as f64 / tuples as f64,
+        zipf_exponent,
+        class_mix: (
+            class[0] as f64 / tuples as f64,
+            class[1] as f64 / tuples as f64,
+            class[2] as f64 / tuples as f64,
+        ),
+        mean_key_len: len_sum as f64 / tuples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::{uniform_stream, TextCorpus};
+    use crate::zipf::{zipf_stream, StreamOrder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_profile_is_flat() {
+        let p = profile(&uniform_stream(1, 100, 50_000));
+        assert_eq!(p.distinct, 100);
+        assert!(p.zipf_exponent.abs() < 0.25, "got {}", p.zipf_exponent);
+        assert!(p.top1pct_mass < 0.05);
+        assert_eq!(p.singleton_fraction, 0.0);
+    }
+
+    #[test]
+    fn zipf_exponent_recovered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for s in [0.8f64, 1.0, 1.2] {
+            let ranks = zipf_stream(&mut rng, 5_000, 200_000, s, StreamOrder::Shuffled);
+            let stream: Vec<KvTuple> = ranks
+                .iter()
+                .map(|&r| KvTuple::new(Key::from_u64(r), 1))
+                .collect();
+            let p = profile(&stream);
+            assert!(
+                (p.zipf_exponent - s).abs() < 0.2,
+                "target {s}, fitted {}",
+                p.zipf_exponent
+            );
+        }
+    }
+
+    #[test]
+    fn corpora_match_their_declared_skew() {
+        for corpus in TextCorpus::paper_datasets() {
+            let p = profile(&corpus.stream(5, 150_000));
+            assert!(
+                (p.zipf_exponent - corpus.zipf_s).abs() < 0.3,
+                "{}: declared {}, fitted {}",
+                corpus.name,
+                corpus.zipf_s,
+                p.zipf_exponent
+            );
+            let (s, m, l) = p.class_mix;
+            assert!((s + m + l - 1.0).abs() < 1e-9);
+            assert!(
+                s > 0.0 && m > 0.0 && l > 0.0,
+                "{}: all classes",
+                corpus.name
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_head_carries_mass() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ranks = zipf_stream(&mut rng, 10_000, 100_000, 1.2, StreamOrder::Shuffled);
+        let stream: Vec<KvTuple> = ranks
+            .iter()
+            .map(|&r| KvTuple::new(Key::from_u64(r), 1))
+            .collect();
+        let p = profile(&stream);
+        assert!(p.top1pct_mass > 0.4, "got {}", p.top1pct_mass);
+        assert!(p.singleton_fraction > 0.0, "the tail has singletons");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_stream_rejected() {
+        let _ = profile(&[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic text-corpus generators standing in for the paper's production
+//! traces (yelp, 20-Newsgroups, Blog Authorship Corpus, Large Movie Review
+//! DB).
+//!
+//! The real traces are word streams from English text. The aspects of those
+//! traces that ASK's evaluation depends on are (a) Zipfian word-frequency
+//! skew, (b) an English-like word-length distribution (common words are
+//! short, tail words long), and (c) corpus-specific vocabulary sizes. The
+//! generators reproduce exactly those properties, deterministically.
+
+use crate::zipf::ZipfSampler;
+use ask_wire::key::Key;
+use ask_wire::packet::KvTuple;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a synthetic "word" for vocabulary rank `rank`.
+///
+/// Common (low-rank) words are short, tail words are long — mirroring
+/// natural language, where frequency and length are inversely related. Words
+/// are unique per rank and contain only lowercase letters.
+pub fn word_for_rank(rank: u64) -> Key {
+    // Base length = smallest b ≥ 2 with 26^b > rank, so a fixed-length
+    // base-26 encoding of `rank` always fits. A deterministic jitter of
+    // 0..3 extra characters spreads each rank band over several lengths
+    // (real corpora are not perfectly layered by frequency).
+    let mut base_len = 2usize;
+    let mut cap = 26u64 * 26;
+    while cap <= rank {
+        base_len += 1;
+        cap = cap.saturating_mul(26);
+    }
+    // Skewed stretch: most words stay near the base length, a minority are
+    // much longer — mirroring English token-length distribution, and
+    // guaranteeing the corpus mixes short (≤4), medium (5..8), and long
+    // (>8) keys across the switch's three key classes.
+    let h = ((rank.wrapping_mul(2_654_435_761)) >> 7) % 100;
+    let stretch = match h {
+        0..=39 => 0,
+        40..=69 => 1,
+        70..=84 => 2,
+        85..=92 => 3,
+        93..=96 => 4,
+        97..=98 => 6,
+        _ => 9,
+    };
+    let len = (base_len + stretch as usize).min(16);
+    // Fixed-length little-endian base-26: words of equal length encode
+    // distinct ranks distinctly, and words of different lengths can never
+    // collide — so the mapping is injective.
+    let mut chars = vec![b'a'; len];
+    let mut v = rank;
+    let mut i = 0;
+    while v > 0 {
+        debug_assert!(i < len, "rank fits in len chars by construction");
+        chars[i] = b'a' + (v % 26) as u8;
+        v /= 26;
+        i += 1;
+    }
+    Key::new(Bytes::from(chars)).expect("letters are non-NUL")
+}
+
+/// A parameterized synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    /// Display name (matches the paper's dataset label).
+    pub name: &'static str,
+    /// Vocabulary size (distinct words).
+    pub vocabulary: usize,
+    /// Zipf exponent of word frequencies.
+    pub zipf_s: f64,
+}
+
+impl TextCorpus {
+    /// yelp reviews: huge vocabulary with the strongest head skew of the
+    /// four — the paper's worst-case packet occupancy (Figure 8(b), mean
+    /// 16.91 of 32 slots) at 92.18% tuple aggregation.
+    pub fn yelp() -> Self {
+        TextCorpus {
+            name: "yelp",
+            vocabulary: 200_000,
+            zipf_s: 1.0,
+        }
+    }
+
+    /// 20 Newsgroups: large effective vocabulary with a flat tail — the
+    /// paper's lowest aggregation ratio (85.73%) but good occupancy.
+    pub fn newsgroups() -> Self {
+        TextCorpus {
+            name: "NG",
+            vocabulary: 100_000,
+            zipf_s: 0.85,
+        }
+    }
+
+    /// Blog Authorship Corpus: compact vocabulary — the paper's
+    /// best-aggregating trace (94.32% tuples, 90.36% packets).
+    pub fn blog_authorship() -> Self {
+        TextCorpus {
+            name: "BAC",
+            vocabulary: 50_000,
+            zipf_s: 0.95,
+        }
+    }
+
+    /// Large Movie Review Dataset (LMDB in the paper's tables).
+    pub fn movie_reviews() -> Self {
+        TextCorpus {
+            name: "LMDB",
+            vocabulary: 90_000,
+            zipf_s: 0.92,
+        }
+    }
+
+    /// All four paper datasets, in Table 1's column order.
+    pub fn paper_datasets() -> Vec<TextCorpus> {
+        vec![
+            TextCorpus::yelp(),
+            TextCorpus::newsgroups(),
+            TextCorpus::blog_authorship(),
+            TextCorpus::movie_reviews(),
+        ]
+    }
+
+    /// Generates a word-count stream of `total` `(word, 1)` tuples.
+    pub fn stream(&self, seed: u64, total: u64) -> Vec<KvTuple> {
+        let sampler = ZipfSampler::new(self.vocabulary, self.zipf_s);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        (0..total)
+            .map(|_| {
+                let rank = sampler.sample(&mut rng) as u64;
+                KvTuple::new(word_for_rank(rank), 1)
+            })
+            .collect()
+    }
+}
+
+/// A uniform-random stream over `distinct` short integer keys (the
+/// benchmark sections' "uniform distribution" workload).
+pub fn uniform_stream(seed: u64, distinct: u64, total: u64) -> Vec<KvTuple> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..total)
+        .map(|_| KvTuple::new(Key::from_u64(rng.gen_range(0..distinct)), 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique_across_ranks() {
+        let mut seen = HashSet::new();
+        for rank in 0..20_000u64 {
+            let w = word_for_rank(rank);
+            assert!(seen.insert(w.clone()), "duplicate word at rank {rank}: {w}");
+        }
+    }
+
+    #[test]
+    fn common_words_are_shorter_than_tail_words() {
+        let avg = |lo: u64, hi: u64| -> f64 {
+            (lo..hi).map(|r| word_for_rank(r).len() as f64).sum::<f64>() / (hi - lo) as f64
+        };
+        assert!(avg(0, 100) < avg(10_000, 10_100));
+    }
+
+    #[test]
+    fn word_lengths_span_short_medium_long() {
+        let lens: HashSet<usize> = (0..100_000u64)
+            .step_by(997)
+            .map(|r| word_for_rank(r).len())
+            .collect();
+        assert!(lens.iter().any(|&l| l <= 4), "some short keys");
+        assert!(
+            lens.iter().any(|&l| (5..=8).contains(&l)),
+            "some medium keys"
+        );
+        assert!(lens.iter().any(|&l| l > 8), "some long keys");
+    }
+
+    #[test]
+    fn corpus_stream_is_deterministic() {
+        let c = TextCorpus::newsgroups();
+        let a = c.stream(1, 500);
+        let b = c.stream(1, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c.stream(2, 500));
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|t| t.value == 1));
+    }
+
+    #[test]
+    fn paper_datasets_have_expected_names() {
+        let names: Vec<&str> = TextCorpus::paper_datasets()
+            .iter()
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(names, vec!["yelp", "NG", "BAC", "LMDB"]);
+    }
+
+    #[test]
+    fn uniform_stream_covers_keyspace() {
+        let s = uniform_stream(3, 50, 5000);
+        let distinct: HashSet<_> = s.iter().map(|t| t.key.clone()).collect();
+        assert_eq!(distinct.len(), 50);
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text trace format for saving and replaying key-value streams.
+//!
+//! One tuple per line: the key hex-encoded, a space, the decimal value.
+//! Hex keeps arbitrary key bytes printable without escaping rules.
+//!
+//! ```
+//! use ask_workloads::trace::{parse_trace, render_trace};
+//! use ask_wire::prelude::*;
+//!
+//! let stream = vec![KvTuple::new(Key::from_str("hi")?, 42)];
+//! let text = render_trace(&stream);
+//! assert_eq!(parse_trace(&text)?, stream);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use ask_wire::key::{Key, KeyError};
+use ask_wire::packet::KvTuple;
+use bytes::Bytes;
+use core::fmt;
+
+/// Error parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line did not have the `hexkey value` shape.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A key failed hex decoding or validation.
+    BadKey {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying key error, if validation failed after decoding.
+        source: Option<KeyError>,
+    },
+    /// The value was not a `u32`.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MalformedLine { line } => write!(f, "line {line}: malformed"),
+            TraceError::BadKey { line, .. } => write!(f, "line {line}: invalid key"),
+            TraceError::BadValue { line } => write!(f, "line {line}: invalid value"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::BadKey {
+                source: Some(e), ..
+            } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a stream as trace text.
+pub fn render_trace(stream: &[KvTuple]) -> String {
+    let mut out = String::with_capacity(stream.len() * 16);
+    for t in stream {
+        for b in t.key.as_bytes() {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push(' ');
+        out.push_str(&t.value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses trace text back into a stream. Empty lines and `#` comments are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] describing the first offending line.
+pub fn parse_trace(text: &str) -> Result<Vec<KvTuple>, TraceError> {
+    let mut out = Vec::new();
+    for (ix, raw) in text.lines().enumerate() {
+        let line = ix + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (hex, value) = trimmed
+            .split_once(' ')
+            .ok_or(TraceError::MalformedLine { line })?;
+        if hex.is_empty() || hex.len() % 2 != 0 {
+            return Err(TraceError::BadKey { line, source: None });
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for pair in hex.as_bytes().chunks(2) {
+            let s = core::str::from_utf8(pair)
+                .map_err(|_| TraceError::BadKey { line, source: None })?;
+            bytes.push(
+                u8::from_str_radix(s, 16).map_err(|_| TraceError::BadKey { line, source: None })?,
+            );
+        }
+        let key = Key::new(Bytes::from(bytes)).map_err(|e| TraceError::BadKey {
+            line,
+            source: Some(e),
+        })?;
+        let value: u32 = value
+            .trim()
+            .parse()
+            .map_err(|_| TraceError::BadValue { line })?;
+        out.push(KvTuple::new(key, value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(s: &str, v: u32) -> KvTuple {
+        KvTuple::new(Key::from_str(s).unwrap(), v)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let stream = vec![kv("a", 1), kv("hello-world", 4_000_000_000), kv("Z", 0)];
+        assert_eq!(parse_trace(&render_trace(&stream)).unwrap(), stream);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n6869 7\n";
+        let parsed = parse_trace(text).unwrap();
+        assert_eq!(parsed, vec![kv("hi", 7)]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(
+            parse_trace("garbage").unwrap_err(),
+            TraceError::MalformedLine { line: 1 }
+        );
+        assert_eq!(
+            parse_trace("zz 1").unwrap_err(),
+            TraceError::BadKey {
+                line: 1,
+                source: None
+            }
+        );
+        assert_eq!(
+            parse_trace("68 notanumber").unwrap_err(),
+            TraceError::BadValue { line: 1 }
+        );
+        // NUL byte in key fails validation with a source.
+        let err = parse_trace("00 1").unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::BadKey {
+                line: 1,
+                source: Some(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!TraceError::MalformedLine { line: 3 }.to_string().is_empty());
+    }
+}

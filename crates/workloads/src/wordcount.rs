@@ -1,0 +1,101 @@
+//! WordCount job generators for the big-data experiments (§5.2, §5.5).
+//!
+//! A WordCount job has `mappers` map tasks per machine, each emitting
+//! `(word, 1)` tuples over a bounded per-mapper keyspace, and reducers that
+//! aggregate by key — the paper's Figure 10 setting is 3 machines × 32
+//! mappers × 2¹⁸ distinct keys per mapper and 5–20 × 10⁷ tuples per mapper.
+
+use ask_wire::key::Key;
+use ask_wire::packet::KvTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one WordCount job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordCountJob {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Map tasks per machine.
+    pub mappers_per_machine: usize,
+    /// Distinct keys each mapper draws from.
+    pub distinct_keys_per_mapper: u64,
+    /// Tuples each mapper emits.
+    pub tuples_per_mapper: u64,
+}
+
+impl WordCountJob {
+    /// Figure 10's cluster shape (tuple volume per mapper varies by column).
+    pub fn figure10(tuples_per_mapper: u64) -> Self {
+        WordCountJob {
+            machines: 3,
+            mappers_per_machine: 32,
+            distinct_keys_per_mapper: 1 << 18,
+            tuples_per_mapper,
+        }
+    }
+
+    /// Total tuples emitted by the whole job.
+    pub fn total_tuples(&self) -> u64 {
+        self.machines as u64 * self.mappers_per_machine as u64 * self.tuples_per_mapper
+    }
+
+    /// Total map tasks.
+    pub fn total_mappers(&self) -> usize {
+        self.machines * self.mappers_per_machine
+    }
+
+    /// Generates mapper `m`'s output stream (uniform over its keyspace).
+    ///
+    /// All mappers share one global keyspace so that cross-mapper
+    /// aggregation is meaningful (words repeat across mappers).
+    pub fn mapper_stream(&self, seed: u64, mapper: usize) -> Vec<KvTuple> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (mapper as u64) << 32);
+        (0..self.tuples_per_mapper)
+            .map(|_| {
+                KvTuple::new(
+                    Key::from_u64(rng.gen_range(0..self.distinct_keys_per_mapper)),
+                    1,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_shape() {
+        let job = WordCountJob::figure10(50_000_000);
+        assert_eq!(job.total_mappers(), 96);
+        assert_eq!(job.total_tuples(), 96 * 50_000_000);
+    }
+
+    #[test]
+    fn mapper_streams_are_deterministic_and_distinct() {
+        let job = WordCountJob {
+            machines: 1,
+            mappers_per_machine: 2,
+            distinct_keys_per_mapper: 100,
+            tuples_per_mapper: 50,
+        };
+        assert_eq!(job.mapper_stream(1, 0), job.mapper_stream(1, 0));
+        assert_ne!(job.mapper_stream(1, 0), job.mapper_stream(1, 1));
+    }
+
+    #[test]
+    fn mapper_streams_share_keyspace() {
+        let job = WordCountJob {
+            machines: 1,
+            mappers_per_machine: 2,
+            distinct_keys_per_mapper: 10,
+            tuples_per_mapper: 200,
+        };
+        let keys = |m: usize| -> std::collections::HashSet<Key> {
+            job.mapper_stream(7, m).into_iter().map(|t| t.key).collect()
+        };
+        let inter: Vec<_> = keys(0).intersection(&keys(1)).cloned().collect();
+        assert!(!inter.is_empty(), "mappers must overlap in keys");
+    }
+}

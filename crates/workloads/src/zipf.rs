@@ -1,0 +1,247 @@
+//! Exact bounded Zipf sampling and ordered Zipf streams (§5.4).
+//!
+//! The paper's hot-key prioritization study uses three arrangements of the
+//! same Zipf-distributed multiset: *Zipf* (hot keys early in the stream),
+//! *Zipf (reverse)* (cold keys early), and shuffled arrival. The sampler
+//! here is exact — a precomputed CDF with binary search — so no external
+//! distribution crate is needed.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability ∝ `1 / (rank + 1)^s`.
+///
+/// # Examples
+///
+/// ```
+/// use ask_workloads::zipf::ZipfSampler;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let z = ZipfSampler::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative / not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The probability of `rank`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Expected appearance counts for `total` draws (deterministic layout
+    /// used by the ordered stream generators).
+    pub fn expected_counts(&self, total: u64) -> Vec<u64> {
+        let n = self.cdf.len();
+        let mut counts = Vec::with_capacity(n);
+        let mut assigned = 0u64;
+        for rank in 0..n {
+            let c = (self.probability(rank) * total as f64).round() as u64;
+            counts.push(c);
+            assigned += c;
+        }
+        // Nudge rank 0 so the total is exact.
+        if assigned != total {
+            let delta = total as i64 - assigned as i64;
+            counts[0] = (counts[0] as i64 + delta).max(0) as u64;
+        }
+        counts
+    }
+}
+
+/// Arrival order of the key multiset in a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Hot keys first — the paper's *Zipf dataset*.
+    HotFirst,
+    /// Cold keys first — the paper's *Zipf (reverse) dataset*.
+    ColdFirst,
+    /// Random interleaving (the realistic arrival process).
+    Shuffled,
+}
+
+/// Generates a stream of `total` key ranks with the given skew and order.
+///
+/// `HotFirst`/`ColdFirst` sort the multiset by key frequency — every
+/// appearance of the hottest (coldest) key first, then the next, and so on
+/// — matching the paper's description of the *Zipf* / *Zipf (reverse)*
+/// datasets where "hot keys appear in the front and the cold keys appear in
+/// the rear" (§5.4). `Shuffled` draws i.i.d. samples (the realistic online
+/// arrival process).
+pub fn zipf_stream<R: Rng + ?Sized>(
+    rng: &mut R,
+    distinct: usize,
+    total: u64,
+    s: f64,
+    order: StreamOrder,
+) -> Vec<u64> {
+    let sampler = ZipfSampler::new(distinct, s);
+    match order {
+        StreamOrder::Shuffled => (0..total).map(|_| sampler.sample(rng) as u64).collect(),
+        StreamOrder::HotFirst | StreamOrder::ColdFirst => {
+            let counts = sampler.expected_counts(total);
+            let mut out = Vec::with_capacity(total as usize);
+            let ranks: Vec<usize> = if order == StreamOrder::HotFirst {
+                (0..distinct).collect()
+            } else {
+                (0..distinct).rev().collect()
+            };
+            for rank in ranks {
+                for _ in 0..counts[rank] {
+                    out.push(rank as u64);
+                }
+            }
+            out.truncate(total as usize);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let sum: f64 = (0..1000).map(|r| z.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 1000);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn skew_monotonic() {
+        let z = ZipfSampler::new(100, 1.2);
+        for r in 1..100 {
+            assert!(z.probability(r) <= z.probability(r - 1), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn empirical_matches_theoretical() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let emp = counts[r] as f64 / n as f64;
+            let theo = z.probability(r);
+            assert!(
+                (emp - theo).abs() / theo < 0.1,
+                "rank {r}: empirical {emp} vs {theo}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_counts_sum_exactly() {
+        let z = ZipfSampler::new(100, 1.1);
+        let counts = z.expected_counts(12_345);
+        assert_eq!(counts.iter().sum::<u64>(), 12_345);
+    }
+
+    #[test]
+    fn hot_first_puts_rank0_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = zipf_stream(&mut rng, 10, 100, 1.0, StreamOrder::HotFirst);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0], 0, "hottest key appears first");
+        // First appearance order is by rank.
+        let mut seen = std::collections::HashSet::new();
+        let firsts: Vec<u64> = s.iter().copied().filter(|k| seen.insert(*k)).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn cold_first_puts_tail_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = zipf_stream(&mut rng, 10, 100, 1.0, StreamOrder::ColdFirst);
+        assert_eq!(s.len(), 100);
+        let mut seen = std::collections::HashSet::new();
+        let firsts: Vec<u64> = s.iter().copied().filter(|k| seen.insert(*k)).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(firsts, sorted, "first appearances from coldest to hottest");
+    }
+
+    #[test]
+    fn orders_are_permutations_of_same_multiset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = zipf_stream(&mut rng, 20, 500, 1.0, StreamOrder::HotFirst);
+        let b = zipf_stream(&mut rng, 20, 500, 1.0, StreamOrder::ColdFirst);
+        let count = |v: &[u64]| {
+            let mut c = std::collections::HashMap::new();
+            for &k in v {
+                *c.entry(k).or_insert(0u64) += 1;
+            }
+            c
+        };
+        assert_eq!(count(&a), count(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_sampler_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

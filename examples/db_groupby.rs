@@ -1,0 +1,47 @@
+//! Database aggregation through ASK: `SELECT cust, SUM(amount) GROUP BY
+//! cust` over a skewed orders table — the paper's database `SUM()` scenario.
+//!
+//! ```sh
+//! cargo run --release -p ask --example db_groupby
+//! ```
+
+use ask::prelude::*;
+use ask_workloads::database::GroupByQuery;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two storage nodes scan partitions of the orders table; one
+    // coordinator runs the final aggregation.
+    let query = GroupByQuery::per_customer_rollup(4_000);
+    let mut service = AskServiceBuilder::new(3).build();
+    let hosts = service.hosts().to_vec();
+    let coordinator = hosts[0];
+
+    let task = TaskId(1);
+    service.submit_task(task, coordinator, &hosts[1..]);
+    let mut rows_scanned = 0u64;
+    for (i, node) in hosts[1..].iter().enumerate() {
+        let partition = query.rows(40 + i as u64, 50_000);
+        rows_scanned += partition.len() as u64;
+        service.submit_stream(task, *node, partition);
+    }
+
+    service.run_until_complete(task, coordinator, 200_000_000)?;
+    let result = service.result(task, coordinator).expect("completed");
+
+    let mut top: Vec<_> = result.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1));
+    println!(
+        "GROUP BY over {rows_scanned} rows → {} groups; top 5 by SUM(amount):",
+        result.len()
+    );
+    for (group, sum) in top.iter().take(5) {
+        println!("  {group:>8} {sum}");
+    }
+
+    let stats = service.switch_stats(task).expect("stats");
+    println!(
+        "\n{:.1}% of rows were summed by the switch before reaching the coordinator",
+        stats.tuple_aggregation_ratio() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: aggregate two hosts' key-value streams through the switch.
+//!
+//! ```sh
+//! cargo run -p ask --example quickstart
+//! ```
+
+use ask::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A rack: one programmable switch, three hosts on 100 Gbps links.
+    let mut service = AskServiceBuilder::new(3).build();
+    let hosts = service.hosts().to_vec();
+    let (receiver, senders) = (hosts[0], &hosts[1..]);
+
+    // The receiver registers the aggregation task; the daemons take care of
+    // switch memory allocation and sender announcement.
+    let task = TaskId(1);
+    service.submit_task(task, receiver, senders);
+
+    // Each sender streams its word counts.
+    for (i, sender) in senders.iter().enumerate() {
+        let stream = vec![
+            KvTuple::new(Key::from_str("apple")?, 1 + i as u32),
+            KvTuple::new(Key::from_str("banana")?, 2),
+            KvTuple::new(Key::from_str("cherry-pie-slice")?, 1), // long key: bypasses the switch
+            KvTuple::new(Key::from_str("apple")?, 1),
+        ];
+        service.submit_stream(task, *sender, stream);
+    }
+
+    service.run_until_complete(task, receiver, 10_000_000)?;
+    let result = service.result(task, receiver).expect("task completed");
+
+    println!("aggregated {} distinct keys:", result.len());
+    let mut entries: Vec<_> = result.iter().collect();
+    entries.sort();
+    for (key, value) in entries {
+        println!("  {key} -> {value}");
+    }
+
+    let stats = service.switch_stats(task).expect("switch served the task");
+    println!(
+        "switch absorbed {:.0}% of eligible tuples, ACKed {:.0}% of data packets",
+        stats.tuple_aggregation_ratio() * 100.0,
+        stats.packet_absorption_ratio() * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Real-time stream processing over ASK: tumbling-window top-k over an
+//! unbounded skewed stream — the Spark-Streaming/Flink/Kafka scenario from
+//! the paper's introduction, where keys are unforeseeable and aggregation
+//! is necessarily asynchronous.
+//!
+//! ```sh
+//! cargo run --release -p ask-apps --example streaming_windows
+//! ```
+
+use ask::prelude::{AskConfig, KvTuple};
+use ask_apps::prelude::*;
+use ask_workloads::text::word_for_rank;
+use ask_workloads::zipf::{zipf_stream, StreamOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = StreamingConfig {
+        sources: 3,
+        window_tuples: 2_000,
+        windows: 6,
+        ask: AskConfig::paper_default(),
+        seed: 9,
+    };
+
+    // Each source emits a Zipf-skewed slice of the stream per window, with
+    // the skew drifting over time (trending keys change).
+    let results = run_windows(&config, |source, window| {
+        let mut rng = StdRng::seed_from_u64((window as u64) << 16 | source as u64);
+        zipf_stream(&mut rng, 4_096, 2_000, 1.2, StreamOrder::Shuffled)
+            .into_iter()
+            .map(|rank| KvTuple::new(word_for_rank(rank + 7 * window as u64), 1))
+            .collect()
+    });
+
+    println!("tumbling-window stream aggregation, 3 sources × 6 windows\n");
+    println!("window |  t_complete | in-network |        top key");
+    for r in &results {
+        let (top_key, top_count) = r
+            .counts
+            .iter()
+            .max_by_key(|(k, v)| (**v, std::cmp::Reverse(k.as_bytes().to_vec())))
+            .expect("non-empty window");
+        println!(
+            "{:>6} | {:>9.3}ms | {:>9.1}% | {top_key} × {top_count}",
+            r.window,
+            r.completed_at.as_secs_f64() * 1e3,
+            r.switch_absorption * 100.0,
+        );
+    }
+    println!("\nevery window was verified exactly-once against a local reference");
+}

@@ -1,0 +1,63 @@
+//! WordCount over ASK: the paper's motivating big-data scenario (§5.5).
+//!
+//! Three machines each run mappers that emit `(word, 1)` tuples from a
+//! synthetic text corpus; one machine doubles as the reducer. The switch
+//! aggregates most tuples in flight, so reducers only merge residuals,
+//! co-located data, and the fetched switch table.
+//!
+//! ```sh
+//! cargo run --release -p ask --example wordcount
+//! ```
+
+use ask::prelude::*;
+use ask_workloads::text::TextCorpus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = TextCorpus::yelp();
+    let tuples_per_machine = 60_000;
+
+    let mut service = AskServiceBuilder::new(3).build();
+    let hosts = service.hosts().to_vec();
+    let reducer = hosts[0];
+
+    // The reducer machine also runs mappers (co-located, like Spark).
+    let task = TaskId(1);
+    service.submit_task(task, reducer, &hosts);
+    let mut total_emitted = 0u64;
+    for (i, host) in hosts.iter().enumerate() {
+        let stream = corpus.stream(100 + i as u64, tuples_per_machine);
+        total_emitted += stream.len() as u64;
+        service.submit_stream(task, *host, stream);
+    }
+
+    service.run_until_complete(task, reducer, 200_000_000)?;
+    let result = service.result(task, reducer).expect("completed");
+    let counted: u64 = result.values().map(|&v| v as u64).sum();
+    assert_eq!(counted, total_emitted, "every word counted exactly once");
+
+    let mut top: Vec<_> = result.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!(
+        "WordCount over '{}': {} words, {} distinct",
+        corpus.name,
+        counted,
+        result.len()
+    );
+    println!("top 10 words:");
+    for (word, count) in top.iter().take(10) {
+        println!("  {word:>14} {count}");
+    }
+
+    let s = service.switch_stats(task).expect("stats");
+    println!(
+        "\nswitch: {:.1}% of tuples aggregated in-network, {:.1}% of packets absorbed, {} swaps",
+        s.tuple_aggregation_ratio() * 100.0,
+        s.packet_absorption_ratio() * 100.0,
+        s.swaps,
+    );
+    println!(
+        "job finished at t = {:.3} ms (simulated)",
+        service.now().as_secs_f64() * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! End-to-end runs over the synthetic production-trace stand-ins and the
+//! Figure-9 stream arrangements: correctness plus the coarse statistical
+//! properties the evaluation relies on.
+
+use ask::prelude::*;
+use ask_workloads::text::TextCorpus;
+use ask_workloads::zipf::{zipf_stream, StreamOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_stream(cfg: AskConfig, stream: Vec<KvTuple>) -> (AskService, TaskId) {
+    let mut service = AskServiceBuilder::new(2).config(cfg).seed(3).build();
+    let hosts = service.hosts().to_vec();
+    let task = TaskId(1);
+    let expected = reference_aggregate(stream.iter().cloned());
+    service.submit_task(task, hosts[0], &[hosts[1]]);
+    service.submit_stream(task, hosts[1], stream);
+    service
+        .run_until_complete(task, hosts[0], 400_000_000)
+        .expect("completes");
+    let got = service.result(task, hosts[0]).expect("result");
+    assert_eq!(got, expected, "dataset aggregation must be exact");
+    (service, task)
+}
+
+#[test]
+fn every_paper_corpus_aggregates_exactly() {
+    for corpus in TextCorpus::paper_datasets() {
+        let stream = corpus.stream(7, 20_000);
+        let (service, task) = run_stream(AskConfig::paper_default(), stream);
+        let stats = service.switch_stats(task).expect("stats");
+        assert!(
+            stats.tuple_aggregation_ratio() > 0.5,
+            "{}: absorption {}",
+            corpus.name,
+            stats.tuple_aggregation_ratio()
+        );
+        // Word corpora mix all three key classes.
+        assert!(
+            stats.tuples_long_forwarded > 0,
+            "{}: long keys",
+            corpus.name
+        );
+    }
+}
+
+#[test]
+fn corpora_have_all_three_key_classes() {
+    for corpus in TextCorpus::paper_datasets() {
+        let stream = corpus.stream(1, 30_000);
+        let mut short = 0u64;
+        let mut medium = 0u64;
+        let mut long = 0u64;
+        for t in &stream {
+            match t.key.class(2) {
+                KeyClass::Short => short += 1,
+                KeyClass::Medium => medium += 1,
+                KeyClass::Long => long += 1,
+            }
+        }
+        assert!(
+            short > 0 && medium > 0 && long > 0,
+            "{}: {short}/{medium}/{long}",
+            corpus.name
+        );
+        assert!(short > long, "{}: common words are short", corpus.name);
+    }
+}
+
+#[test]
+fn zipf_arrangements_aggregate_exactly_with_swapping() {
+    let mut cfg = AskConfig::tiny();
+    cfg.aggregators_per_aa = 128;
+    cfg.region_aggregators = 128;
+    cfg.swap_threshold = 64;
+    let mut rng = StdRng::seed_from_u64(5);
+    for order in [
+        StreamOrder::HotFirst,
+        StreamOrder::ColdFirst,
+        StreamOrder::Shuffled,
+    ] {
+        let ranks = zipf_stream(&mut rng, 2_000, 15_000, 1.1, order);
+        let stream: Vec<KvTuple> = ranks
+            .iter()
+            .map(|&r| KvTuple::new(Key::from_u64(r), 1))
+            .collect();
+        let (service, task) = run_stream(cfg.clone(), stream);
+        let stats = service.switch_stats(task).expect("stats");
+        assert!(stats.swaps > 0, "{order:?}: swapping engaged");
+    }
+}
+
+#[test]
+fn value_mass_is_conserved_on_corpora() {
+    let corpus = TextCorpus::newsgroups();
+    let stream = corpus.stream(9, 25_000);
+    let mass: u64 = stream.iter().map(|t| t.value as u64).sum();
+    let (service, task) = run_stream(AskConfig::paper_default(), stream);
+    let got: u64 = service
+        .result(task, service.hosts()[0])
+        .unwrap()
+        .values()
+        .map(|&v| v as u64)
+        .sum();
+    assert_eq!(got, mass);
+}

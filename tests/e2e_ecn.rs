@@ -1,0 +1,142 @@
+//! ECN-based congestion control end to end (§7 discussion): a congested
+//! receiver downlink marks frames, the marks are echoed on ACKs, and the
+//! sender's DCTCP-style window backs off — all without hurting correctness.
+
+use ask::prelude::*;
+use ask_simnet::link::LinkConfig;
+use ask_simnet::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stream(seed: u64, n: usize) -> Vec<KvTuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| KvTuple::new(Key::from_u64(rng.gen_range(0..256)), rng.gen_range(1..9)))
+        .collect()
+}
+
+/// Builds a congested scenario: 4 senders, host-only aggregation (the
+/// switch forwards everything), so the switch→receiver link becomes a 4:1
+/// incast bottleneck whose queue triggers ECN marks.
+fn congested_run(congestion_control: bool, ecn: bool) -> (AskService, TaskId) {
+    let mut cfg = AskConfig::tiny();
+    cfg.force_host_only = true;
+    cfg.congestion_control = congestion_control;
+    cfg.window = 64;
+    // A slower access link amplifies queueing at the shared downlink.
+    let mut link = LinkConfig::new(10e9, SimDuration::from_micros(1));
+    if ecn {
+        link = link.with_ecn(SimDuration::from_micros(5));
+    }
+    let mut service = AskServiceBuilder::new(5)
+        .config(cfg)
+        .link(link)
+        .seed(7)
+        .build();
+    let hosts = service.hosts().to_vec();
+    let task = TaskId(1);
+    let streams: Vec<Vec<KvTuple>> = (0..4).map(|s| stream(s as u64, 2_000)).collect();
+    let expected = ask::service::reference_aggregate(streams.iter().flatten().cloned());
+    service.submit_task(task, hosts[0], &hosts[1..]);
+    for (i, s) in streams.into_iter().enumerate() {
+        service.submit_stream(task, hosts[1 + i], s);
+    }
+    service
+        .run_until_complete(task, hosts[0], 100_000_000)
+        .expect("completes");
+    assert_eq!(
+        service.result(task, hosts[0]).expect("result"),
+        expected,
+        "congestion control must not perturb the aggregation"
+    );
+    (service, task)
+}
+
+#[test]
+fn congested_downlink_marks_and_echoes() {
+    let (service, _) = congested_run(true, true);
+    let hosts = service.hosts().to_vec();
+    // The shared switch→receiver link marked frames...
+    let down = service.downlink_stats(hosts[0]);
+    assert!(down.frames_ecn_marked > 0, "incast queue must mark");
+    // ...and the echoes reached the senders.
+    let echoes: u64 = hosts[1..]
+        .iter()
+        .map(|&h| service.host_stats(h).ecn_echoes)
+        .sum();
+    assert!(echoes > 0, "ECE must propagate back on ACKs");
+}
+
+#[test]
+fn ecn_backoff_reduces_marking_pressure() {
+    let (with_cc, _) = congested_run(true, true);
+    let (without_cc, _) = congested_run(false, true);
+    let marked = |svc: &AskService| svc.downlink_stats(svc.hosts()[0]).frames_ecn_marked;
+    assert!(
+        marked(&with_cc) < marked(&without_cc),
+        "backing off must shrink the queue: {} vs {}",
+        marked(&with_cc),
+        marked(&without_cc)
+    );
+}
+
+#[test]
+fn tail_drops_are_recovered_and_cc_reduces_them() {
+    // A bounded transmit queue on a 4:1 incast tail-drops packets; the
+    // reliability layer must recover them exactly, and the congestion
+    // window should shrink the drop count.
+    let run = |cc: bool| -> (u64, u64) {
+        let mut cfg = AskConfig::tiny();
+        cfg.force_host_only = true;
+        cfg.congestion_control = cc;
+        cfg.window = 256;
+        let link = LinkConfig::new(10e9, SimDuration::from_micros(1))
+            .with_queue_limit(SimDuration::from_micros(8));
+        let mut service = AskServiceBuilder::new(5)
+            .config(cfg)
+            .link(link)
+            .seed(11)
+            .build();
+        let hosts = service.hosts().to_vec();
+        let task = TaskId(1);
+        let streams: Vec<Vec<KvTuple>> = (0..4).map(|s| stream(s as u64, 1_500)).collect();
+        let expected = ask::service::reference_aggregate(streams.iter().flatten().cloned());
+        service.submit_task(task, hosts[0], &hosts[1..]);
+        for (i, s) in streams.into_iter().enumerate() {
+            service.submit_stream(task, hosts[1 + i], s);
+        }
+        service
+            .run_until_complete(task, hosts[0], 200_000_000)
+            .expect("completes despite tail drops");
+        assert_eq!(service.result(task, hosts[0]).unwrap(), expected);
+        let drops = service.downlink_stats(hosts[0]).frames_tail_dropped;
+        let retx: u64 = hosts[1..]
+            .iter()
+            .map(|&h| service.host_stats(h).retransmissions)
+            .sum();
+        (drops, retx)
+    };
+    let (drops_plain, retx_plain) = run(false);
+    assert!(
+        drops_plain > 0,
+        "the incast must overflow the bounded queue"
+    );
+    assert!(retx_plain > 0, "drops must be recovered by retransmission");
+    let (drops_cc, _) = run(true);
+    assert!(
+        drops_cc < drops_plain,
+        "congestion control must reduce tail drops: {drops_cc} vs {drops_plain}"
+    );
+}
+
+#[test]
+fn no_marks_without_ecn_enabled() {
+    let (service, _) = congested_run(true, false);
+    let hosts = service.hosts().to_vec();
+    assert_eq!(service.downlink_stats(hosts[0]).frames_ecn_marked, 0);
+    let echoes: u64 = hosts[1..]
+        .iter()
+        .map(|&h| service.host_stats(h).ecn_echoes)
+        .sum();
+    assert_eq!(echoes, 0);
+}

@@ -1,0 +1,119 @@
+//! Defensive paths: garbage frames, misrouted packets, and orphan data
+//! must be counted and contained, never panicking or corrupting results.
+
+use ask::prelude::*;
+use ask::switch::AskSwitch;
+use ask_simnet::frame::Frame;
+use bytes::Bytes;
+
+#[test]
+fn garbage_frames_are_counted_and_ignored() {
+    let mut service = AskServiceBuilder::new(2)
+        .config(AskConfig::tiny())
+        .seed(1)
+        .build();
+    let hosts = service.hosts().to_vec();
+    let switch = service.switch_id();
+
+    // Inject undecodable junk into the switch from a host.
+    for junk in [
+        Bytes::from_static(b""),
+        Bytes::from_static(b"ab"),
+        Bytes::from_static(&[0xff; 64]),
+    ] {
+        service
+            .network_mut()
+            .with_node::<AskDaemon, _>(hosts[1], |_daemon, ctx| {
+                let _ = ctx.send(switch, Frame::new(junk.clone()));
+            });
+    }
+    service.run_to_idle();
+    let sw: &AskSwitch = service.network_mut().node(switch);
+    assert_eq!(sw.unroutable(), 0);
+    assert_eq!(sw.undecodable(), 3, "every junk frame counted");
+
+    // The service still works afterwards.
+    let task = TaskId(1);
+    let stream = vec![KvTuple::new(Key::from_u64(1), 5)];
+    service.submit_task(task, hosts[0], &[hosts[1]]);
+    service.submit_stream(task, hosts[1], stream);
+    service
+        .run_until_complete(task, hosts[0], 5_000_000)
+        .unwrap();
+    assert_eq!(
+        service.result(task, hosts[0]).unwrap()[&Key::from_u64(1)],
+        5
+    );
+}
+
+#[test]
+fn misrouted_data_is_orphaned_and_acked() {
+    // A forged data packet for a task the receiver never registered (a
+    // misconfigured or malicious sender): the receiver must ACK it (no
+    // retransmission livelock), count the tuples as orphans, and keep its
+    // real tasks intact.
+    use ask_wire::codec::{encode_envelope, Envelope};
+    use ask_wire::packet::{AskPacket, ChannelId, DataPacket, SeqNo, CHANNEL_STRIDE};
+
+    let cfg = AskConfig::tiny();
+    let layout = cfg.layout;
+    let mut service = AskServiceBuilder::new(2).config(cfg).seed(2).build();
+    let hosts = service.hosts().to_vec();
+    let switch = service.switch_id();
+
+    // A legitimate task first.
+    let task = TaskId(1);
+    service.submit_task(task, hosts[0], &[hosts[1]]);
+    service.submit_stream(task, hosts[1], vec![KvTuple::new(Key::from_u64(1), 1)]);
+    service
+        .run_until_complete(task, hosts[0], 5_000_000)
+        .unwrap();
+
+    // Forge a data packet for unregistered task 99 from host 1 to host 0,
+    // on a channel the real daemon is not using (so its sequence space is
+    // untouched).
+    let mut slots = vec![None; layout.slot_count()];
+    slots[0] = Some(KvTuple::new(Key::from_u64(7), 42));
+    let forged = AskPacket::Data(DataPacket {
+        task: TaskId(99),
+        channel: ChannelId(hosts[1].index() as u32 * CHANNEL_STRIDE + 7),
+        seq: SeqNo(0),
+        slots,
+    });
+    let env = Envelope::new(hosts[1].index() as u32, hosts[0].index() as u32, forged);
+    let wire = env.wire_bytes(&layout);
+    let bytes = encode_envelope(&env, &layout);
+    service
+        .network_mut()
+        .with_node::<AskDaemon, _>(hosts[1], |_daemon, ctx| {
+            let _ = ctx.send(switch, Frame::with_wire_bytes(bytes, wire));
+        });
+    service.run_to_idle();
+
+    let recv = service.daemon(hosts[0]);
+    assert_eq!(recv.orphan_tuples(), 1, "forged tuple counted as orphaned");
+    // The completed result is untouched.
+    let result = service.result(task, hosts[0]).unwrap();
+    assert_eq!(result.len(), 1);
+    assert_eq!(result[&Key::from_u64(1)], 1);
+}
+
+#[test]
+fn trace_ring_buffer_bounds_memory() {
+    let mut cfg = AskConfig::tiny();
+    cfg.trace_capacity = 16; // absurdly small: must drop, not grow
+    let mut service = AskServiceBuilder::new(2).config(cfg).seed(3).build();
+    let hosts = service.hosts().to_vec();
+    let task = TaskId(1);
+    let stream: Vec<KvTuple> = (0..500)
+        .map(|i| KvTuple::new(Key::from_u64(i % 50), 1))
+        .collect();
+    service.submit_task(task, hosts[0], &[hosts[1]]);
+    service.submit_stream(task, hosts[1], stream);
+    service
+        .run_until_complete(task, hosts[0], 10_000_000)
+        .unwrap();
+    let trace = service.daemon(hosts[1]).trace();
+    assert_eq!(trace.len(), 16);
+    assert!(trace.dropped() > 0, "the ring must have evicted");
+}
