@@ -49,7 +49,7 @@ impl RegressionData {
                     .map(|_| {
                         let x: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
                         let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum::<f32>()
-                            + rng.gen_range(-0.01..0.01);
+                            + rng.gen_range(-0.01f32..0.01);
                         (x, y)
                     })
                     .collect()

@@ -13,13 +13,14 @@ use crate::switch::aggregator::Observation;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
 use ask_simnet::time::{SimDuration, SimTime};
-use ask_wire::codec::{decode_envelope, encode_envelope, Envelope};
+use ask_wire::codec::{decode_envelope, encode_envelope_parts};
 use ask_wire::constants::PACKET_OVERHEAD;
 use ask_wire::key::Key;
 use ask_wire::packet::{
     AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 pub use ask_wire::packet::CHANNEL_STRIDE;
 
@@ -416,17 +417,23 @@ impl AskDaemon {
             if gates_fin {
                 *ch.outstanding.entry(task).or_insert(0) += 1;
             }
+            let me = self.my_index();
+            let layout = self.config.layout;
+            let wire = packet.wire_bytes(&layout);
+            // One encode per packet: the window keeps the exact bytes the
+            // frame carries, so retransmissions skip the codec entirely and
+            // the packet itself moves into the window without a clone.
+            let bytes = encode_envelope_parts(me, dst, &packet, &layout);
             let ch = &mut self.channels[ch_ix];
-            ch.window.register(packet.clone(), dst, Some(task));
+            ch.window.register(packet, bytes.clone(), wire, dst, Some(task));
             ch.busy_until = now + self.config.cpu_per_packet;
             self.cpu_busy += self.config.cpu_per_packet;
             self.stats.packets_sent += 1;
-            let wire = packet.wire_bytes(&self.config.layout);
             self.stats.bytes_sent += wire as u64;
             self.stats.goodput_bytes_sent += (wire - PACKET_OVERHEAD) as u64;
             self.trace
                 .record(now, TraceEvent::PacketSent { channel, seq, task });
-            self.send_to(dst, packet, ctx);
+            let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
             ctx.set_timer(self.config.retransmit_timeout, token_retx(ch_ix, seq.0));
         }
     }
@@ -467,10 +474,12 @@ impl AskDaemon {
     }
 
     fn retransmit(&mut self, ch_ix: usize, seq: u64, ctx: &mut Context<'_>) {
-        let Some((packet, dst)) = self.channels[ch_ix]
+        // Resend the stored wire bytes verbatim — no re-encode, no clone of
+        // the packet body.
+        let Some((bytes, wire)) = self.channels[ch_ix]
             .window
             .retransmit(seq)
-            .map(|e| (e.packet.clone(), e.dst))
+            .map(|e| (e.encoded.clone(), e.wire))
         else {
             return; // already acknowledged
         };
@@ -487,9 +496,8 @@ impl AskDaemon {
             cc.on_timeout();
         }
         self.cpu_busy += self.config.cpu_per_packet;
-        let wire = packet.wire_bytes(&self.config.layout);
         self.stats.bytes_sent += wire as u64;
-        self.send_to(dst, packet, ctx);
+        let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
         ctx.set_timer(self.config.retransmit_timeout, token_retx(ch_ix, seq));
     }
 
@@ -659,7 +667,7 @@ impl AskDaemon {
         &mut self,
         task: TaskId,
         fetch_seq: u32,
-        entries: Vec<KvTuple>,
+        entries: Arc<Vec<KvTuple>>,
         ctx: &mut Context<'_>,
     ) {
         let Some(rt) = self.recv_tasks.get_mut(&task) else {
@@ -681,6 +689,9 @@ impl AskDaemon {
         self.trace
             .record(ctx.now(), TraceEvent::FetchMerged { task, entries: n });
         self.stats.tuples_fetched += n;
+        // The decoded reply normally holds the only reference, so this is a
+        // move; a deep copy happens only if something else still shares it.
+        let entries = Arc::try_unwrap(entries).unwrap_or_else(|a| (*a).clone());
         self.merge_residual(task, entries);
         let rt = self.recv_tasks.get_mut(&task).expect("task present");
         let want_final = rt.want_final;
@@ -721,7 +732,7 @@ impl AskDaemon {
     // ------------------------------------------------------------------
 
     fn on_region_reply(&mut self, task: TaskId, granted: bool, ctx: &mut Context<'_>) {
-        let senders: Vec<u32> = {
+        let mut senders: Vec<u32> = {
             let Some(rt) = self.recv_tasks.get_mut(&task) else {
                 return;
             };
@@ -733,6 +744,9 @@ impl AskDaemon {
                 .record(ctx.now(), TraceEvent::RegionResolved { task, granted });
             rt.senders.iter().copied().collect()
         };
+        // Sorted so announce order (and thus the event schedule) does not
+        // depend on HashSet iteration order, which varies per process.
+        senders.sort_unstable();
         let me = self.my_index();
         for sender in senders {
             self.send_to(
@@ -769,7 +783,7 @@ impl AskDaemon {
 
     fn on_announce_timer(&mut self, task: TaskId, ctx: &mut Context<'_>) {
         let me = self.my_index();
-        let pending: Vec<u32> = {
+        let mut pending: Vec<u32> = {
             let Some(rt) = self.recv_tasks.get(&task) else {
                 return;
             };
@@ -778,6 +792,7 @@ impl AskDaemon {
             }
             rt.senders.difference(&rt.fins).copied().collect()
         };
+        pending.sort_unstable(); // deterministic retry order (see on_region_reply)
         for sender in pending {
             self.send_to(
                 sender,
@@ -804,9 +819,8 @@ impl AskDaemon {
 
     fn send_to(&mut self, dst: u32, packet: AskPacket, ctx: &mut Context<'_>) {
         let layout = self.config.layout;
-        let envelope = Envelope::new(self.my_index(), dst, packet);
-        let bytes = encode_envelope(&envelope, &layout);
-        let wire = envelope.wire_bytes(&layout);
+        let wire = packet.wire_bytes(&layout);
+        let bytes = encode_envelope_parts(self.my_index(), dst, &packet, &layout);
         // Everything leaves through the uplink to the switch.
         let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
     }

@@ -6,13 +6,19 @@
 //! sources naturally reorder); only the fine-grained timeout does.
 
 use ask_wire::packet::{AskPacket, TaskId};
+use bytes::Bytes;
 use std::collections::BTreeMap;
 
 /// One unacknowledged packet.
 #[derive(Debug, Clone)]
 pub struct InFlight {
-    /// The packet, kept verbatim for retransmission.
+    /// The packet, kept for ACK bookkeeping (task/FIN dispatch).
     pub packet: AskPacket,
+    /// The envelope as it went on the wire. Retransmissions resend these
+    /// bytes directly (an O(1) refcount bump) instead of re-encoding.
+    pub encoded: Bytes,
+    /// On-wire size of the frame carrying `encoded`.
+    pub wire: usize,
     /// Destination node index.
     pub dst: u32,
     /// The task the packet belongs to (for FIN gating), if any.
@@ -68,7 +74,14 @@ impl SenderWindow {
     /// # Panics
     ///
     /// Panics if the window is full ([`SenderWindow::can_send`] is false).
-    pub fn register(&mut self, packet: AskPacket, dst: u32, task: Option<TaskId>) -> u64 {
+    pub fn register(
+        &mut self,
+        packet: AskPacket,
+        encoded: Bytes,
+        wire: usize,
+        dst: u32,
+        task: Option<TaskId>,
+    ) -> u64 {
         assert!(self.can_send(), "window full");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -76,6 +89,8 @@ impl SenderWindow {
             seq,
             InFlight {
                 packet,
+                encoded,
+                wire,
                 dst,
                 task,
                 retransmits: 0,
@@ -122,7 +137,7 @@ mod tests {
         let mut w = SenderWindow::new(4);
         for i in 0..4 {
             assert!(w.can_send());
-            assert_eq!(w.register(dummy_packet(i), 1, None), i);
+            assert_eq!(w.register(dummy_packet(i), Bytes::new(), 0, 1, None), i);
         }
         assert!(!w.can_send());
         assert_eq!(w.in_flight(), 4);
@@ -131,8 +146,8 @@ mod tests {
     #[test]
     fn acking_oldest_slides_window() {
         let mut w = SenderWindow::new(2);
-        w.register(dummy_packet(0), 1, None);
-        w.register(dummy_packet(1), 1, None);
+        w.register(dummy_packet(0), Bytes::new(), 0, 1, None);
+        w.register(dummy_packet(1), Bytes::new(), 0, 1, None);
         assert!(!w.can_send());
         // Acking the *newest* does not slide (oldest still pins the window).
         assert!(w.ack(1).is_some());
@@ -145,7 +160,7 @@ mod tests {
     #[test]
     fn duplicate_ack_returns_none() {
         let mut w = SenderWindow::new(2);
-        w.register(dummy_packet(0), 1, None);
+        w.register(dummy_packet(0), Bytes::new(), 0, 1, None);
         assert!(w.ack(0).is_some());
         assert!(w.ack(0).is_none());
     }
@@ -153,7 +168,7 @@ mod tests {
     #[test]
     fn retransmit_counts() {
         let mut w = SenderWindow::new(2);
-        w.register(dummy_packet(0), 7, Some(TaskId(3)));
+        w.register(dummy_packet(0), Bytes::new(), 0, 7, Some(TaskId(3)));
         assert_eq!(w.retransmit(0).unwrap().retransmits, 1);
         assert_eq!(w.retransmit(0).unwrap().retransmits, 2);
         let e = w.ack(0).unwrap();
@@ -167,8 +182,8 @@ mod tests {
     #[should_panic(expected = "window full")]
     fn register_past_full_panics() {
         let mut w = SenderWindow::new(1);
-        w.register(dummy_packet(0), 1, None);
-        w.register(dummy_packet(1), 1, None);
+        w.register(dummy_packet(0), Bytes::new(), 0, 1, None);
+        w.register(dummy_packet(1), Bytes::new(), 0, 1, None);
     }
 
     #[test]

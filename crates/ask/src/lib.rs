@@ -130,7 +130,7 @@ mod engine_proptests {
                                engine: &mut AggregatorEngine,
                                receiver: &mut ReceiverWindow,
                                residual: &mut HashMap<Key, u32>| {
-                match engine.process_data(&pkt) {
+                match engine.process_data(pkt) {
                     DataVerdict::FullyAggregated | DataVerdict::Stale => {}
                     DataVerdict::Forward(residual_pkt) => {
                         receive(&residual_pkt, receiver, residual);
@@ -154,8 +154,8 @@ mod engine_proptests {
                 if swap_every > 0 && seq.is_multiple_of(swap_every) {
                     engine.swap(task);
                     fetch_seq += 1;
-                    for t in engine.fetch(task, FetchScope::Inactive, fetch_seq) {
-                        let slot = residual.entry(t.key).or_insert(0);
+                    for t in engine.fetch(task, FetchScope::Inactive, fetch_seq).iter() {
+                        let slot = residual.entry(t.key.clone()).or_insert(0);
                         *slot = slot.wrapping_add(t.value);
                     }
                 }
@@ -174,8 +174,8 @@ mod engine_proptests {
                 }
             }
             fetch_seq += 1;
-            for t in engine.fetch(task, FetchScope::All, fetch_seq) {
-                let slot = residual.entry(t.key).or_insert(0);
+            for t in engine.fetch(task, FetchScope::All, fetch_seq).iter() {
+                let slot = residual.entry(t.key.clone()).or_insert(0);
                 *slot = slot.wrapping_add(t.value);
             }
             residual.retain(|_, v| *v != 0);
@@ -217,7 +217,7 @@ mod engine_proptests {
                         slots: payload,
                     };
                     seqs[which] += 1;
-                    match engine.process_data(&pkt) {
+                    match engine.process_data(pkt) {
                         DataVerdict::FullyAggregated => totals[which] += value as u64,
                         DataVerdict::Forward(_) => {}
                         DataVerdict::Stale => unreachable!(),

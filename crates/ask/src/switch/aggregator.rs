@@ -33,6 +33,7 @@ use ask_wire::packet::{
     AaRegion, AggregateOp, ChannelId, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Mixes a key hash into an aggregator index, decorrelated from the
 /// subspace-partition hash (which uses the raw `hash64`).
@@ -56,6 +57,10 @@ pub enum Observation {
 }
 
 /// Verdict for one data packet.
+///
+/// The `Forward` packet is the input packet itself, rewritten in place
+/// (aggregated slots blanked) — [`AggregatorEngine::process_data`] takes
+/// the packet by value precisely so no copy is ever made on the data path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DataVerdict {
     /// Stale packet, dropped without any response.
@@ -83,8 +88,10 @@ struct TaskEntry {
     receiver: u32,
     /// Claims per shadow copy.
     claims: [Vec<Claim>; 2],
-    /// Last served fetch sequence and its cached reply.
-    fetch_cache: Option<(u32, Vec<KvTuple>)>,
+    /// Last served fetch sequence and its cached reply. The harvest is
+    /// behind an `Arc` so cache replays and the outgoing reply packet
+    /// share one buffer instead of cloning the tuple vector.
+    fetch_cache: Option<(u32, Arc<Vec<KvTuple>>)>,
     stats: SwitchTaskStats,
 }
 
@@ -377,14 +384,18 @@ impl AggregatorEngine {
     }
 
     /// Processes one data packet through the full pipeline program.
+    ///
+    /// Takes the packet by value and rewrites it in place: aggregated slots
+    /// are blanked directly, and whatever survives is handed back inside
+    /// [`DataVerdict::Forward`] without ever copying the packet.
     // `drop(pass)` below deliberately ends the pipeline pass (and its
     // borrow) before control-plane state is updated; the lint misreads
     // that as a no-op.
     #[allow(clippy::drop_non_drop)]
-    pub fn process_data(&mut self, pkt: &DataPacket) -> DataVerdict {
+    pub fn process_data(&mut self, mut pkt: DataPacket) -> DataVerdict {
         let Some(ch_slot) = self.channel_slot(pkt.channel) else {
             // No reliability state available: best-effort pure forwarding.
-            return DataVerdict::Forward(pkt.clone());
+            return DataVerdict::Forward(pkt);
         };
         let window = self.config.window;
 
@@ -428,8 +439,7 @@ impl AggregatorEngine {
                 DataVerdict::Stale
             }
             Observation::First => {
-                let (result, new_claims, aggregated, forwarded) = if let Some(region) = task_region
-                {
+                let (new_claims, aggregated, forwarded) = if let Some(region) = task_region {
                     Self::aggregate_packet(
                         &mut pass,
                         &self.aas,
@@ -437,30 +447,31 @@ impl AggregatorEngine {
                         region,
                         copy,
                         op,
-                        pkt,
+                        &mut pkt,
                     )
                 } else {
-                    (pkt.clone(), Vec::new(), 0, pkt.occupied() as u64)
+                    (Vec::new(), 0, pkt.occupied() as u64)
                 };
                 // Final stage: record the post-aggregation bitmap.
-                pass.access(self.pkt_state, state_idx, |v| *v = result.bitmap() as u64)
+                pass.access(self.pkt_state, state_idx, |v| *v = pkt.bitmap() as u64)
                     .expect("PktState write");
                 drop(pass);
+                let empty = pkt.is_empty();
                 if let Some(t) = self.tasks.get_mut(&pkt.task) {
                     t.claims[copy].extend(new_claims);
                     t.stats.data_packets += 1;
                     t.stats.tuples_aggregated += aggregated;
                     t.stats.tuples_forwarded += forwarded;
-                    if result.is_empty() {
+                    if empty {
                         t.stats.packets_fully_aggregated += 1;
                     } else {
                         t.stats.packets_forwarded += 1;
                     }
                 }
-                if result.is_empty() {
+                if empty {
                     DataVerdict::FullyAggregated
                 } else {
-                    DataVerdict::Forward(result)
+                    DataVerdict::Forward(pkt)
                 }
             }
             Observation::Duplicate => {
@@ -475,20 +486,20 @@ impl AggregatorEngine {
                 if stored == 0 {
                     DataVerdict::FullyAggregated
                 } else {
-                    let mut residual = pkt.clone();
-                    for (i, slot) in residual.slots.iter_mut().enumerate() {
+                    for (i, slot) in pkt.slots.iter_mut().enumerate() {
                         if stored & (1 << i) == 0 {
                             *slot = None;
                         }
                     }
-                    DataVerdict::Forward(residual)
+                    DataVerdict::Forward(pkt)
                 }
             }
         }
     }
 
-    /// Aggregates every occupied slot of `pkt` within one pass. Returns the
-    /// rewritten packet (aggregated slots blanked), new claims, and counts.
+    /// Aggregates every occupied slot of `pkt` within one pass, blanking
+    /// aggregated slots in place. Returns new claims plus the
+    /// aggregated/forwarded tuple counts.
     #[allow(clippy::too_many_arguments)]
     fn aggregate_packet(
         pass: &mut Pass<'_>,
@@ -497,18 +508,19 @@ impl AggregatorEngine {
         region: AaRegion,
         copy: usize,
         op: AggregateOp,
-        pkt: &DataPacket,
-    ) -> (DataPacket, Vec<Claim>, u64, u64) {
+        pkt: &mut DataPacket,
+    ) -> (Vec<Claim>, u64, u64) {
         let layout = &config.layout;
         debug_assert_eq!(pkt.slots.len(), layout.slot_count());
         let copy_off = copy * config.aggregators_per_aa;
-        let mut result = pkt.clone();
         let mut claims = Vec::new();
         let mut aggregated = 0;
         let mut forwarded = 0;
 
-        for (slot_ix, slot) in pkt.slots.iter().enumerate() {
-            let Some(tuple) = slot else { continue };
+        for slot_ix in 0..pkt.slots.len() {
+            let Some(tuple) = &pkt.slots[slot_ix] else {
+                continue;
+            };
             let idx = copy_off
                 + region.base as usize
                 + (index_hash(&tuple.key) % region.aggregators as u64) as usize;
@@ -555,12 +567,12 @@ impl AggregatorEngine {
             };
             if ok {
                 aggregated += 1;
-                result.slots[slot_ix] = None;
+                pkt.slots[slot_ix] = None;
             } else {
                 forwarded += 1;
             }
         }
-        (result, claims, aggregated, forwarded)
+        (claims, aggregated, forwarded)
     }
 
     /// One stateful-ALU operation on one aggregator register: claim if
@@ -617,14 +629,15 @@ impl AggregatorEngine {
 
     /// Reliable fetch (Algorithm 1's `Read()` plus reset): harvests the
     /// requested copies when `fetch_seq` advances, replays the cached reply
-    /// otherwise. Returns the entries to send back.
-    pub fn fetch(&mut self, task: TaskId, scope: FetchScope, fetch_seq: u32) -> Vec<KvTuple> {
+    /// otherwise. Returns the entries to send back, shared with the fetch
+    /// cache (replays are an `Arc` clone, not a tuple-vector copy).
+    pub fn fetch(&mut self, task: TaskId, scope: FetchScope, fetch_seq: u32) -> Arc<Vec<KvTuple>> {
         let Some(entry) = self.tasks.get(&task) else {
-            return Vec::new();
+            return Arc::new(Vec::new());
         };
         if let Some((cached_seq, ref cached)) = entry.fetch_cache {
             if fetch_seq <= cached_seq {
-                return cached.clone();
+                return Arc::clone(cached);
             }
         }
         let active = self
@@ -643,9 +656,10 @@ impl AggregatorEngine {
             self.harvest_claims(&claims, copy, &mut harvest);
             self.reset_claims(&claims, copy);
         }
+        let harvest = Arc::new(harvest);
         let entry = self.tasks.get_mut(&task).expect("present");
         entry.stats.tuples_fetched += harvest.len() as u64;
-        entry.fetch_cache = Some((fetch_seq, harvest.clone()));
+        entry.fetch_cache = Some((fetch_seq, Arc::clone(&harvest)));
         harvest
     }
 
@@ -747,7 +761,7 @@ mod tests {
     fn first_packet_fully_aggregates() {
         let mut e = engine();
         e.register_task(TaskId(1), 9).expect("region");
-        let v = e.process_data(&pkt(1, 0, 0, &[(0, "cat", 3), (1, "dog", 4)]));
+        let v = e.process_data(pkt(1, 0, 0, &[(0, "cat", 3), (1, "dog", 4)]));
         assert_eq!(v, DataVerdict::FullyAggregated);
         let got = e.fetch(TaskId(1), FetchScope::All, 1);
         let mut got: Vec<(String, u32)> = got
@@ -768,7 +782,7 @@ mod tests {
         let mut e = engine();
         e.register_task(TaskId(1), 9).unwrap();
         for seq in 0..10 {
-            let v = e.process_data(&pkt(1, 0, seq, &[(0, "cat", 2)]));
+            let v = e.process_data(pkt(1, 0, seq, &[(0, "cat", 2)]));
             assert_eq!(v, DataVerdict::FullyAggregated);
         }
         let got = e.fetch(TaskId(1), FetchScope::All, 1);
@@ -785,10 +799,10 @@ mod tests {
         let mut e2 = AggregatorEngine::new(cfg);
         e2.register_task(TaskId(1), 9).unwrap();
         assert_eq!(
-            e2.process_data(&pkt(1, 0, 0, &[(0, "aaa", 1)])),
+            e2.process_data(pkt(1, 0, 0, &[(0, "aaa", 1)])),
             DataVerdict::FullyAggregated
         );
-        match e2.process_data(&pkt(1, 0, 1, &[(0, "bbb", 7)])) {
+        match e2.process_data(pkt(1, 0, 1, &[(0, "bbb", 7)])) {
             DataVerdict::Forward(p) => {
                 assert_eq!(p.occupied(), 1);
                 assert_eq!(p.slots[0].as_ref().unwrap().value, 7);
@@ -808,8 +822,8 @@ mod tests {
         let mut e = engine();
         e.register_task(TaskId(1), 9).unwrap();
         let p = pkt(1, 0, 0, &[(0, "cat", 5)]);
-        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
-        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+        assert_eq!(e.process_data(p.clone()), DataVerdict::FullyAggregated);
+        assert_eq!(e.process_data(p), DataVerdict::FullyAggregated);
         let got = e.fetch(TaskId(1), FetchScope::All, 1);
         assert_eq!(got[0].value, 5, "retransmission must not double-count");
         assert_eq!(e.task_stats(TaskId(1)).unwrap().duplicates_detected, 1);
@@ -822,22 +836,22 @@ mod tests {
         let mut e = AggregatorEngine::new(cfg);
         e.register_task(TaskId(1), 9).unwrap();
         // Occupy slot-0's only aggregator with "aaa".
-        e.process_data(&pkt(1, 0, 0, &[(0, "aaa", 1)]));
+        e.process_data(pkt(1, 0, 0, &[(0, "aaa", 1)]));
         // Mixed packet: "aaa" aggregates, "bbb" conflicts in slot 0... they
         // share slot 0 across packets; send both in one packet via slots 0/1.
         let mixed = pkt(1, 0, 1, &[(0, "aaa", 2), (1, "ccc", 3)]);
-        let first = e.process_data(&mixed);
+        let first = e.process_data(mixed);
         // "aaa" merges into slot0 aggregator; "ccc" claims slot1 aggregator.
         assert_eq!(first, DataVerdict::FullyAggregated);
         // Now make slot 1 conflict: occupy then send a different key.
         let conflict = pkt(1, 0, 2, &[(1, "ddd", 9)]);
-        let v1 = e.process_data(&conflict);
+        let v1 = e.process_data(conflict.clone());
         let DataVerdict::Forward(f1) = v1 else {
             panic!("expected forward")
         };
         // Retransmit the same packet: must carry the same residual without
         // touching the aggregators.
-        let v2 = e.process_data(&conflict);
+        let v2 = e.process_data(conflict);
         let DataVerdict::Forward(f2) = v2 else {
             panic!("expected forward")
         };
@@ -856,8 +870,8 @@ mod tests {
         e.register_task(TaskId(1), 9).unwrap();
         let w = e.config().window as u64;
         // Advance max_seq far ahead.
-        e.process_data(&pkt(1, 0, 3 * w, &[(0, "cat", 1)]));
-        let v = e.process_data(&pkt(1, 0, w, &[(0, "dog", 1)]));
+        e.process_data(pkt(1, 0, 3 * w, &[(0, "cat", 1)]));
+        let v = e.process_data(pkt(1, 0, w, &[(0, "dog", 1)]));
         assert_eq!(v, DataVerdict::Stale);
         assert_eq!(e.task_stats(TaskId(1)).unwrap().stale_dropped, 1);
     }
@@ -865,7 +879,7 @@ mod tests {
     #[test]
     fn unknown_task_forwards_without_aggregation() {
         let mut e = engine();
-        let v = e.process_data(&pkt(42, 0, 0, &[(0, "cat", 1)]));
+        let v = e.process_data(pkt(42, 0, 0, &[(0, "cat", 1)]));
         match v {
             DataVerdict::Forward(p) => assert_eq!(p.occupied(), 1),
             other => panic!("expected forward, got {other:?}"),
@@ -878,9 +892,9 @@ mod tests {
         e.register_task(TaskId(1), 9).unwrap();
         // tiny layout: slots 4 and 5 are medium groups (m = 2).
         let p = pkt(1, 0, 0, &[(4, "maples", 6)]);
-        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+        assert_eq!(e.process_data(p), DataVerdict::FullyAggregated);
         assert_eq!(
-            e.process_data(&pkt(1, 0, 1, &[(4, "maples", 4)])),
+            e.process_data(pkt(1, 0, 1, &[(4, "maples", 4)])),
             DataVerdict::FullyAggregated
         );
         let got = e.fetch(TaskId(1), FetchScope::All, 1);
@@ -899,13 +913,13 @@ mod tests {
         let mut e = AggregatorEngine::new(cfg);
         e.register_task(TaskId(1), 9).unwrap();
         assert_eq!(
-            e.process_data(&pkt(1, 0, 0, &[(4, "yoursa", 1)])),
+            e.process_data(pkt(1, 0, 0, &[(4, "yoursa", 1)])),
             DataVerdict::FullyAggregated
         );
         // Same segment 0 ("your"), different key: unified index collides →
         // segment 0 mismatch is impossible (same bytes) BUT segment 1
         // differs → conflict, forwarded.
-        match e.process_data(&pkt(1, 0, 1, &[(4, "yourxy", 2)])) {
+        match e.process_data(pkt(1, 0, 1, &[(4, "yourxy", 2)])) {
             DataVerdict::Forward(p) => assert_eq!(p.occupied(), 1),
             other => panic!("expected forward, got {other:?}"),
         }
@@ -920,10 +934,10 @@ mod tests {
         let mut e = engine();
         e.register_task(TaskId(1), 9).unwrap();
         assert_eq!(e.active_copy(TaskId(1)), Some(0));
-        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 1)]));
+        e.process_data(pkt(1, 0, 0, &[(0, "cat", 1)]));
         e.swap(TaskId(1));
         assert_eq!(e.active_copy(TaskId(1)), Some(1));
-        e.process_data(&pkt(1, 0, 1, &[(0, "cat", 2)]));
+        e.process_data(pkt(1, 0, 1, &[(0, "cat", 2)]));
         // Inactive copy now holds the pre-swap value.
         let old = e.fetch(TaskId(1), FetchScope::Inactive, 1);
         assert_eq!(old.len(), 1);
@@ -938,7 +952,7 @@ mod tests {
     fn fetch_is_idempotent_per_fetch_seq() {
         let mut e = engine();
         e.register_task(TaskId(1), 9).unwrap();
-        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 5)]));
+        e.process_data(pkt(1, 0, 0, &[(0, "cat", 5)]));
         let a = e.fetch(TaskId(1), FetchScope::All, 1);
         // Retry of the same fetch_seq replays the cache even though the
         // registers were reset.
@@ -958,8 +972,8 @@ mod tests {
         let r1 = e.register_task(TaskId(1), 8).unwrap();
         let r2 = e.register_task(TaskId(2), 9).unwrap();
         assert_ne!(r1.base, r2.base);
-        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 1)]));
-        e.process_data(&pkt(2, 1, 0, &[(0, "cat", 10)]));
+        e.process_data(pkt(1, 0, 0, &[(0, "cat", 1)]));
+        e.process_data(pkt(2, 1, 0, &[(0, "cat", 10)]));
         assert_eq!(e.fetch(TaskId(1), FetchScope::All, 1)[0].value, 1);
         assert_eq!(e.fetch(TaskId(2), FetchScope::All, 1)[0].value, 10);
     }
@@ -984,12 +998,12 @@ mod tests {
         cfg.region_aggregators = 32;
         let mut e = AggregatorEngine::new(cfg);
         e.register_task(TaskId(1), 1).unwrap();
-        e.process_data(&pkt(1, 0, 0, &[(0, "cat", 5)]));
+        e.process_data(pkt(1, 0, 0, &[(0, "cat", 5)]));
         e.release_task(TaskId(1));
         // A new task reusing the same region must not see stale keys.
         e.register_task(TaskId(2), 2).unwrap();
         assert_eq!(
-            e.process_data(&pkt(2, 1, 0, &[(0, "dog", 1)])),
+            e.process_data(pkt(2, 1, 0, &[(0, "dog", 1)])),
             DataVerdict::FullyAggregated
         );
         let got = e.fetch(TaskId(2), FetchScope::All, 1);
@@ -1005,7 +1019,7 @@ mod tests {
         // Interleave: even seqs are data, odd are bypass, across 3 windows.
         for seq in 0..3 * w {
             if seq % 2 == 0 {
-                let v = e.process_data(&pkt(1, 0, seq, &[(0, "cat", 1)]));
+                let v = e.process_data(pkt(1, 0, seq, &[(0, "cat", 1)]));
                 assert_eq!(v, DataVerdict::FullyAggregated, "seq {seq}");
             } else {
                 let o = e.observe_bypass(ChannelId(0), SeqNo(seq));
@@ -1023,14 +1037,14 @@ mod tests {
         let w = e.config().window as u64;
         for seq in 0..w {
             assert_eq!(
-                e.process_data(&pkt(1, 0, seq, &[(0, "k", 1)])),
+                e.process_data(pkt(1, 0, seq, &[(0, "k", 1)])),
                 DataVerdict::FullyAggregated
             );
         }
         for seq in 0..w {
             // All still in window (max_seq = w-1, window (w-1-W, w-1]).
             assert_eq!(
-                e.process_data(&pkt(1, 0, seq, &[(0, "k", 1)])),
+                e.process_data(pkt(1, 0, seq, &[(0, "k", 1)])),
                 DataVerdict::FullyAggregated,
                 "dup seq {seq}"
             );
@@ -1049,6 +1063,6 @@ mod tests {
             seq: SeqNo(0),
             slots: vec![None; layout.slot_count()],
         };
-        assert_eq!(e.process_data(&p), DataVerdict::FullyAggregated);
+        assert_eq!(e.process_data(p), DataVerdict::FullyAggregated);
     }
 }

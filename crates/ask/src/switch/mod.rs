@@ -10,6 +10,7 @@ use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
 use ask_wire::codec::{decode_envelope, encode_envelope, Envelope};
 use ask_wire::packet::{AskPacket, ControlMsg, TaskId};
+use bytes::Bytes;
 
 /// The top-of-rack ASK switch as a simulated network node.
 ///
@@ -84,11 +85,19 @@ impl AskSwitch {
         let layout = self.engine.config().layout;
         let bytes = encode_envelope(envelope, &layout);
         let wire = envelope.wire_bytes(&layout);
+        self.forward_raw(envelope.dst, bytes, wire, ecn, ctx);
+    }
+
+    /// Relays already-encoded envelope bytes unchanged. Used for every
+    /// packet the switch does not rewrite: the payload `Bytes` handle from
+    /// the incoming frame is reused directly (an O(1) reference-count
+    /// bump), skipping the per-hop re-encode and checksum entirely.
+    fn forward_raw(&mut self, dst: u32, bytes: Bytes, wire: usize, ecn: bool, ctx: &mut Context<'_>) {
         let to = self
             .routes
-            .get(&envelope.dst)
+            .get(&dst)
             .copied()
-            .unwrap_or_else(|| NodeId::from_index(envelope.dst as usize));
+            .unwrap_or_else(|| NodeId::from_index(dst as usize));
         let mut frame = Frame::with_wire_bytes(bytes, wire);
         // Propagate a congestion-experienced mark across hops (IP ECN
         // semantics: once marked, stays marked).
@@ -98,96 +107,109 @@ impl AskSwitch {
         }
     }
 
-    fn forward(&mut self, envelope: &Envelope, ctx: &mut Context<'_>) {
-        self.forward_ecn(envelope, false, ctx);
-    }
-
     fn reply(&mut self, dst: u32, packet: AskPacket, ctx: &mut Context<'_>) {
         let me = ctx.me().index() as u32;
-        self.forward(&Envelope::new(me, dst, packet), ctx);
+        self.forward_ecn(&Envelope::new(me, dst, packet), false, ctx);
     }
 }
 
 impl Node for AskSwitch {
     fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
         let ecn = frame.ecn_marked();
-        let envelope = match decode_envelope(frame.into_payload()) {
+        let wire = frame.wire_bytes();
+        // Keep the raw payload around: packets the switch relays unmodified
+        // are re-sent from these very bytes instead of being re-encoded.
+        let payload = frame.into_payload();
+        let envelope = match decode_envelope(payload.clone()) {
             Ok(e) => e,
             Err(_) => {
                 self.undecodable += 1;
                 return;
             }
         };
-        match &envelope.packet {
-            AskPacket::Data(pkt) => match self.engine.process_data(pkt) {
-                DataVerdict::Stale => {}
-                DataVerdict::FullyAggregated => {
-                    // The switch is the consuming endpoint: echo congestion
-                    // marks back to the sender on the ACK.
-                    let ack = AskPacket::Ack {
-                        channel: pkt.channel,
-                        seq: pkt.seq,
-                        ece: ecn,
-                    };
-                    self.reply(envelope.src, ack, ctx);
+        let Envelope { src, dst, packet } = envelope;
+        match packet {
+            AskPacket::Data(pkt) => {
+                let (channel, seq) = (pkt.channel, pkt.seq);
+                let occupied_before = pkt.occupied();
+                match self.engine.process_data(pkt) {
+                    DataVerdict::Stale => {}
+                    DataVerdict::FullyAggregated => {
+                        // The switch is the consuming endpoint: echo congestion
+                        // marks back to the sender on the ACK.
+                        let ack = AskPacket::Ack { channel, seq, ece: ecn };
+                        self.reply(src, ack, ctx);
+                    }
+                    DataVerdict::Forward(residual) => {
+                        if residual.occupied() == occupied_before {
+                            // Nothing was aggregated out: the packet is
+                            // byte-identical to what arrived, so relay the
+                            // original frame payload without re-encoding.
+                            self.forward_raw(dst, payload, wire, ecn, ctx);
+                        } else {
+                            let fwd = Envelope::new(src, dst, AskPacket::Data(residual));
+                            self.forward_ecn(&fwd, ecn, ctx);
+                        }
+                    }
                 }
-                DataVerdict::Forward(residual) => {
-                    let fwd = Envelope::new(envelope.src, envelope.dst, AskPacket::Data(residual));
-                    self.forward_ecn(&fwd, ecn, ctx);
-                }
-            },
-            AskPacket::LongKv { channel, seq, .. } | AskPacket::Fin { channel, seq, .. } => {
+            }
+            AskPacket::LongKv { channel, seq, ref task, ref entries, .. } => {
                 // Bypass traffic: keep the receive window dense, drop only
                 // provably-acknowledged (stale) packets, forward the rest —
                 // the receiver is the deduplicating endpoint.
-                match self.engine.observe_bypass(*channel, *seq) {
+                match self.engine.observe_bypass(channel, seq) {
                     Observation::Stale => {}
                     Observation::First | Observation::Duplicate => {
-                        if let AskPacket::LongKv { task, entries, .. } = &envelope.packet {
-                            self.engine
-                                .note_longkv_forwarded(*task, entries.len() as u64);
-                        }
-                        self.forward_ecn(&envelope, ecn, ctx);
+                        self.engine
+                            .note_longkv_forwarded(*task, entries.len() as u64);
+                        self.forward_raw(dst, payload, wire, ecn, ctx);
+                    }
+                }
+            }
+            AskPacket::Fin { channel, seq, .. } => {
+                match self.engine.observe_bypass(channel, seq) {
+                    Observation::Stale => {}
+                    Observation::First | Observation::Duplicate => {
+                        self.forward_raw(dst, payload, wire, ecn, ctx);
                     }
                 }
             }
             AskPacket::Ack { .. } | AskPacket::FetchReply { .. } => {
-                self.forward(&envelope, ctx);
+                self.forward_raw(dst, payload, wire, false, ctx);
             }
             AskPacket::Swap { task } => {
-                self.engine.swap(*task);
+                self.engine.swap(task);
             }
             AskPacket::FetchRequest {
                 task,
                 scope,
                 fetch_seq,
             } => {
-                let entries = self.engine.fetch(*task, *scope, *fetch_seq);
+                let entries = self.engine.fetch(task, scope, fetch_seq);
                 let reply = AskPacket::FetchReply {
-                    task: *task,
-                    fetch_seq: *fetch_seq,
+                    task,
+                    fetch_seq,
                     entries,
                 };
-                self.reply(envelope.src, reply, ctx);
+                self.reply(src, reply, ctx);
             }
             AskPacket::Control(msg) => match msg {
                 ControlMsg::RegionRequest { task, op } => {
-                    let reply = match self.engine.register_task_with_op(*task, envelope.src, *op) {
-                        Some(region) => ControlMsg::RegionGrant {
-                            task: *task,
-                            region,
-                        },
-                        None => ControlMsg::RegionDeny { task: *task },
+                    let reply = match self.engine.register_task_with_op(task, src, op) {
+                        Some(region) => ControlMsg::RegionGrant { task, region },
+                        None => ControlMsg::RegionDeny { task },
                     };
-                    self.reply(envelope.src, AskPacket::Control(reply), ctx);
+                    self.reply(src, AskPacket::Control(reply), ctx);
                 }
                 ControlMsg::RegionRelease { task } => {
-                    self.engine.release_task(*task);
+                    self.engine.release_task(task);
                 }
                 // Host-to-host control traffic transits the switch.
                 ControlMsg::TaskAnnounce { .. }
                 | ControlMsg::RegionGrant { .. }
-                | ControlMsg::RegionDeny { .. } => self.forward(&envelope, ctx),
+                | ControlMsg::RegionDeny { .. } => {
+                    self.forward_raw(dst, payload, wire, false, ctx)
+                }
             },
         }
     }

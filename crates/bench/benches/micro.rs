@@ -55,7 +55,7 @@ fn bench_switch_pass(c: &mut Criterion) {
                 p.seq = SeqNo(seq);
                 seq += 1;
                 ix += 1;
-                engine.process_data(&p)
+                engine.process_data(p)
             });
         });
     }
@@ -106,6 +106,46 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("codec_decode", |b| {
         b.iter(|| decode(bytes.clone()).expect("valid"))
     });
+    c.bench_function("codec_roundtrip", |b| {
+        b.iter(|| decode(encode(&pkt, &layout)).expect("valid"))
+    });
+}
+
+/// By-value data-packet ingest: the packet moves into the engine, which
+/// blanks aggregated slots in place (no per-packet clone on the fast path).
+fn bench_aggregator_ingest(c: &mut Criterion) {
+    let (mut engine, packetizer) = engine_with(PacketLayout::paper_default());
+    let pkts: Vec<DataPacket> = payloads(&packetizer, 24_000)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slots)| DataPacket {
+            task: TaskId(1),
+            channel: ChannelId(0),
+            seq: SeqNo(i as u64),
+            slots,
+        })
+        .collect();
+    let tuples: usize = pkts.iter().map(|p| p.occupied()).sum();
+    let mut group = c.benchmark_group("aggregator_ingest");
+    group.throughput(Throughput::Elements(tuples as u64));
+    let mut seq = pkts.len() as u64;
+    let mut ix = 0usize;
+    group.bench_function("single_pass_24slot", |b| {
+        b.iter_batched(
+            || {
+                // Build the owned packet outside the timed region so the
+                // measurement is the ingest pass alone.
+                let mut p = pkts[ix % pkts.len()].clone();
+                p.seq = SeqNo(seq);
+                seq += 1;
+                ix += 1;
+                p
+            },
+            |p| engine.process_data(p),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
 }
 
 /// Shadow-copy swap + inactive-copy harvest.
@@ -113,7 +153,7 @@ fn bench_shadow_swap(c: &mut Criterion) {
     let (mut engine, packetizer) = engine_with(PacketLayout::paper_default());
     let pkts = payloads(&packetizer, 48_000);
     for (seq, slots) in pkts.into_iter().enumerate() {
-        engine.process_data(&DataPacket {
+        engine.process_data(DataPacket {
             task: TaskId(1),
             channel: ChannelId(0),
             seq: SeqNo(seq as u64),
@@ -185,7 +225,7 @@ fn bench_aggregate_ops(c: &mut Criterion) {
                 p.seq = SeqNo(seq);
                 seq += 1;
                 ix += 1;
-                engine.process_data(&p)
+                engine.process_data(p)
             });
         });
     }
@@ -198,6 +238,7 @@ criterion_group!(
     bench_packetizer,
     bench_dedup_window,
     bench_codec,
+    bench_aggregator_ingest,
     bench_shadow_swap,
     bench_checksum,
     bench_aggregate_ops

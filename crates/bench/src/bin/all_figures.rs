@@ -1,5 +1,23 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, fanning
+//! the independent figures across all cores, and records per-figure wall
+//! times in `BENCH_baseline.json` (path overridable via
+//! `ASK_BENCH_BASELINE`).
+
+use ask_bench::baseline::{baseline_path, Baseline};
+use ask_bench::parallel::worker_count;
+
 fn main() {
     let scale = ask_bench::Scale::from_env();
-    print!("{}", ask_bench::run_all(scale));
+    let (report, timings) = ask_bench::run_all_parallel(scale);
+    print!("{report}");
+
+    let mut baseline = Baseline::new(scale, worker_count(timings.len()));
+    for t in &timings {
+        baseline.record(t.name, t.elapsed);
+    }
+    let path = baseline_path();
+    match baseline.write_to(&path) {
+        Ok(()) => eprintln!("wrote per-figure timings to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

@@ -8,8 +8,10 @@
 //! ```
 
 use ask::prelude::*;
+use ask_bench::baseline::{baseline_path, Baseline};
 use ask_bench::output::{gbps, pct};
 use ask_bench::runners::{run_ask, AskRun};
+use ask_bench::Scale;
 use ask_simnet::faults::FaultModel;
 use ask_simnet::link::LinkConfig;
 use ask_simnet::time::SimDuration;
@@ -145,7 +147,9 @@ fn main() {
         args.op,
         args.loss * 100.0
     );
+    let wall_start = std::time::Instant::now();
     let report = run_ask(&run, streams);
+    let wall = wall_start.elapsed();
 
     println!("\nresults:");
     println!("  job completion time     {:.3} ms", report.jct_s * 1e3);
@@ -177,4 +181,16 @@ fn main() {
         report.receiver.tuples_host_aggregated
     );
     println!("  total tuples in         {total}");
+
+    let mut baseline = Baseline::new(Scale::from_env(), 1);
+    baseline.record("simulate_wall", wall);
+    baseline.record(
+        "simulate_jct",
+        std::time::Duration::from_secs_f64(report.jct_s),
+    );
+    let path = baseline_path();
+    match baseline.write_to(&path) {
+        Ok(()) => eprintln!("wrote timings to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

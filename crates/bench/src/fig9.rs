@@ -54,7 +54,7 @@ fn measure(ranks: &[u64], total_aggregators: usize, prioritize: bool) -> f64 {
             slots: payload,
         };
         seq += 1;
-        match engine.process_data(&pkt) {
+        match engine.process_data(pkt) {
             DataVerdict::FullyAggregated | DataVerdict::Forward(_) => {}
             DataVerdict::Stale => unreachable!("dense in-order feed"),
         }

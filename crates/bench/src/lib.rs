@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod fig10;
 pub mod fig12;
 pub mod fig13;
@@ -29,12 +30,14 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod output;
+pub mod parallel;
 pub mod runners;
 pub mod table1;
 
 pub use runners::Scale;
 
-/// Runs every figure and table, returning the concatenated report.
+/// Runs every figure and table sequentially, returning the concatenated
+/// report. See [`run_all_parallel`] for the multi-core variant.
 pub fn run_all(scale: Scale) -> String {
     let sections = [
         fig3::run(scale),
@@ -47,4 +50,18 @@ pub fn run_all(scale: Scale) -> String {
         fig13::run(scale),
     ];
     sections.join("\n")
+}
+
+/// Runs every figure and table fanned across all available cores, returning
+/// the concatenated report (identical to [`run_all`]'s, figures are
+/// deterministic and independent) plus per-figure timings.
+pub fn run_all_parallel(scale: Scale) -> (String, Vec<parallel::JobResult>) {
+    let jobs = parallel::figure_jobs();
+    let results = parallel::run_jobs(&jobs, scale);
+    let report = results
+        .iter()
+        .map(|r| r.output.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (report, results)
 }

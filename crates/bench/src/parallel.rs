@@ -1,0 +1,133 @@
+//! Multi-core figure runner: fans independent benchmark jobs across all
+//! available cores with scoped threads (no extra dependencies).
+//!
+//! Every figure module's `run(Scale) -> String` is self-contained — each
+//! builds its own simulated network from its own seeds — so the jobs are
+//! embarrassingly parallel. Workers pull jobs from a shared atomic index
+//! (work stealing), which keeps the cores busy even though the figures have
+//! very different runtimes. Output is reassembled in submission order, so
+//! the concatenated report is byte-identical to a sequential run.
+//!
+//! On a single-core machine (`available_parallelism() == 1`) this degrades
+//! to the sequential schedule with one worker thread; only the wall clock
+//! changes with the core count, never the results.
+
+use crate::Scale;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One named, independent unit of benchmark work.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Short identifier used in progress output and BENCH_baseline.json.
+    pub name: &'static str,
+    /// The figure entry point.
+    pub run: fn(Scale) -> String,
+}
+
+/// Output and timing of one completed [`Job`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's name.
+    pub name: &'static str,
+    /// The figure's rendered report section.
+    pub output: String,
+    /// Wall-clock time the job took on its worker.
+    pub elapsed: Duration,
+}
+
+/// The full set of figure/table jobs behind [`crate::run_all`], in report
+/// order.
+pub fn figure_jobs() -> Vec<Job> {
+    vec![
+        Job { name: "fig3", run: crate::fig3::run },
+        Job { name: "fig7", run: crate::fig7::run },
+        Job { name: "table1", run: crate::table1::run },
+        Job { name: "fig8", run: crate::fig8::run },
+        Job { name: "fig9", run: crate::fig9::run },
+        Job { name: "fig10", run: crate::fig10::run },
+        Job { name: "fig12", run: crate::fig12::run },
+        Job { name: "fig13", run: crate::fig13::run },
+    ]
+}
+
+/// Number of worker threads for `jobs` pending jobs: one per available
+/// core, but never more workers than jobs.
+pub fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.max(1))
+}
+
+/// Runs every job across [`worker_count`] scoped threads and returns the
+/// results in submission order.
+pub fn run_jobs(jobs: &[Job], scale: Scale) -> Vec<JobResult> {
+    let workers = worker_count(jobs.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, String, Duration)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(ix) else { break };
+                let start = Instant::now();
+                let output = (job.run)(scale);
+                // The receiver outlives the scope; a send only fails if the
+                // main thread already panicked, in which case we just stop.
+                if tx.send((ix, output, start.elapsed())).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<JobResult>> = jobs.iter().map(|_| None).collect();
+    for (ix, output, elapsed) in rx {
+        slots[ix] = Some(JobResult {
+            name: jobs[ix].name,
+            output,
+            elapsed,
+        });
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_capped_by_jobs() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(64) >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        fn slow(_: Scale) -> String {
+            std::thread::sleep(Duration::from_millis(20));
+            "slow".into()
+        }
+        fn fast(_: Scale) -> String {
+            "fast".into()
+        }
+        let jobs = [
+            Job { name: "a", run: slow },
+            Job { name: "b", run: fast },
+            Job { name: "c", run: fast },
+        ];
+        let results = run_jobs(&jobs, Scale::Quick);
+        let names: Vec<_> = results.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(results[0].output, "slow");
+        assert_eq!(results[2].output, "fast");
+    }
+}

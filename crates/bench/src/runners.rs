@@ -20,11 +20,21 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `ASK_BENCH_SCALE=full` from the environment, default Quick.
+    /// Reads `ASK_BENCH_SCALE=full` (any capitalization) from the
+    /// environment, default Quick.
     pub fn from_env() -> Self {
-        match std::env::var("ASK_BENCH_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
-            _ => Scale::Quick,
+        match std::env::var("ASK_BENCH_SCALE") {
+            Ok(v) => Scale::parse(&v),
+            Err(_) => Scale::Quick,
+        }
+    }
+
+    /// Parses a scale name case-insensitively; anything but `full` is Quick.
+    pub fn parse(s: &str) -> Self {
+        if s.trim().eq_ignore_ascii_case("full") {
+            Scale::Full
+        } else {
+            Scale::Quick
         }
     }
 
@@ -208,5 +218,16 @@ mod tests {
         assert_eq!(Scale::from_env(), Scale::Quick);
         assert_eq!(Scale::Quick.count(5, 50), 5);
         assert_eq!(Scale::Full.count(5, 50), 50);
+    }
+
+    #[test]
+    fn scale_parse_is_case_insensitive() {
+        assert_eq!(Scale::parse("full"), Scale::Full);
+        assert_eq!(Scale::parse("FULL"), Scale::Full);
+        assert_eq!(Scale::parse("Full"), Scale::Full);
+        assert_eq!(Scale::parse(" fUlL "), Scale::Full);
+        assert_eq!(Scale::parse("quick"), Scale::Quick);
+        assert_eq!(Scale::parse(""), Scale::Quick);
+        assert_eq!(Scale::parse("fullest"), Scale::Quick);
     }
 }

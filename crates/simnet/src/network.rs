@@ -54,7 +54,7 @@ impl Engine {
         if ecn {
             frame.set_ecn_marked(true);
         }
-        match link.config.faults().clone().draw(&mut self.rng) {
+        match link.config.faults().draw(&mut self.rng) {
             FrameFate::Dropped => {
                 link.stats.frames_dropped += 1;
             }
@@ -64,6 +64,14 @@ impl Engine {
                 corrupted,
             } => {
                 link.stats.frames_delivered += 1;
+                // Snapshot the trailing copy before any corruption: the
+                // duplicate is the uncorrupted original. On the common
+                // (non-duplicated) path the frame moves straight into the
+                // delivery event with no clone at all.
+                let dup = duplicated.then(|| {
+                    link.stats.frames_duplicated += 1;
+                    (frame.clone(), link.config.propagation())
+                });
                 let delivered = if corrupted {
                     let mut bytes = frame.payload().to_vec();
                     if !bytes.is_empty() {
@@ -78,7 +86,7 @@ impl Engine {
                     f.set_ecn_marked(frame.ecn_marked());
                     f
                 } else {
-                    frame.clone()
+                    frame
                 };
                 self.queue.push(
                     arrival + delay,
@@ -88,14 +96,11 @@ impl Engine {
                         frame: delivered,
                     },
                 );
-                if duplicated {
-                    let link = self.links.get_mut(&(from, to)).expect("link exists");
-                    link.stats.frames_duplicated += 1;
+                if let Some((copy, extra)) = dup {
                     // The copy trails the original by one propagation delay.
-                    let extra = link.config.propagation();
                     self.queue.push(
                         arrival + delay + extra,
-                        EventKind::Deliver { from, to, frame },
+                        EventKind::Deliver { from, to, frame: copy },
                     );
                 }
             }

@@ -16,6 +16,7 @@ use crate::packet::{
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
+use std::sync::Arc;
 
 const KIND_DATA: u8 = 0;
 const KIND_LONG_KV: u8 = 1;
@@ -82,6 +83,52 @@ impl From<KeyError> for CodecError {
     }
 }
 
+/// Exact serialized size of `packet` under `layout`, used to reserve
+/// encoding buffers up front so the hot path never reallocates mid-write.
+pub fn encoded_size(packet: &AskPacket, layout: &PacketLayout) -> usize {
+    fn entries_size(entries: &[KvTuple]) -> usize {
+        4 + entries.iter().map(|t| 2 + t.key.len() + 4).sum::<usize>()
+    }
+    match packet {
+        AskPacket::Data(d) => {
+            let mut n = 1 + 4 + 4 + 8 + 3 + 16;
+            for (i, slot) in d.slots.iter().enumerate() {
+                if slot.is_some() {
+                    let width = if layout.is_short_slot(i) {
+                        KPART_BYTES
+                    } else {
+                        layout.medium_max_key_len()
+                    };
+                    n += width + 4;
+                }
+            }
+            n
+        }
+        AskPacket::LongKv { entries, .. } => 1 + 4 + 4 + 8 + entries_size(entries),
+        AskPacket::Ack { .. } => 1 + 4 + 8 + 1,
+        AskPacket::Fin { .. } => 1 + 4 + 4 + 8,
+        AskPacket::Swap { .. } => 1 + 4,
+        AskPacket::FetchRequest { .. } => 1 + 4 + 1 + 4,
+        AskPacket::FetchReply { entries, .. } => 1 + 4 + 4 + entries_size(entries),
+        AskPacket::Control(msg) => match msg {
+            ControlMsg::RegionRequest { .. } => 2 + 4 + 1,
+            ControlMsg::RegionGrant { .. } => 2 + 4 + 8,
+            ControlMsg::RegionDeny { .. } | ControlMsg::RegionRelease { .. } => 2 + 4,
+            ControlMsg::TaskAnnounce { .. } => 2 + 4 + 4,
+        },
+    }
+}
+
+/// Zero padding written after a key to fill its fixed-width slot.
+fn put_zero_pad(buf: &mut BytesMut, mut n: usize) {
+    const PAD: [u8; 64] = [0u8; 64];
+    while n > 0 {
+        let chunk = n.min(PAD.len());
+        buf.put_slice(&PAD[..chunk]);
+        n -= chunk;
+    }
+}
+
 /// Serializes a packet. `layout` governs the slot widths of data packets.
 ///
 /// # Panics
@@ -89,7 +136,19 @@ impl From<KeyError> for CodecError {
 /// Panics if a [`DataPacket`]'s slot vector length differs from
 /// `layout.slot_count()`, or a slot carries a key wider than its slot.
 pub fn encode(packet: &AskPacket, layout: &PacketLayout) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = BytesMut::with_capacity(encoded_size(packet, layout));
+    encode_into(&mut buf, packet, layout);
+    buf.freeze()
+}
+
+/// Appends `packet`'s serialized form to `buf` — the scratch-buffer form of
+/// [`encode`], letting callers compose an envelope (or any outer framing)
+/// in one buffer without an intermediate body allocation and copy.
+///
+/// # Panics
+///
+/// Same conditions as [`encode`].
+pub fn encode_into(buf: &mut BytesMut, packet: &AskPacket, layout: &PacketLayout) {
     match packet {
         AskPacket::Data(d) => {
             assert_eq!(
@@ -117,9 +176,8 @@ pub fn encode(packet: &AskPacket, layout: &PacketLayout) -> Bytes {
                     "key {} too long for slot {i} (width {width})",
                     t.key
                 );
-                let mut padded = vec![0u8; width];
-                padded[..t.key.len()].copy_from_slice(t.key.as_bytes());
-                buf.put_slice(&padded);
+                buf.put_slice(t.key.as_bytes());
+                put_zero_pad(buf, width - t.key.len());
                 buf.put_u32(t.value);
             }
         }
@@ -133,7 +191,7 @@ pub fn encode(packet: &AskPacket, layout: &PacketLayout) -> Bytes {
             buf.put_u32(task.0);
             buf.put_u32(channel.0);
             buf.put_u64(seq.0);
-            put_entries(&mut buf, entries);
+            put_entries(buf, entries);
         }
         AskPacket::Ack { channel, seq, ece } => {
             buf.put_u8(KIND_ACK);
@@ -172,7 +230,7 @@ pub fn encode(packet: &AskPacket, layout: &PacketLayout) -> Bytes {
             buf.put_u8(KIND_FETCH_REPLY);
             buf.put_u32(task.0);
             buf.put_u32(*fetch_seq);
-            put_entries(&mut buf, entries);
+            put_entries(buf, entries);
         }
         AskPacket::Control(msg) => {
             buf.put_u8(KIND_CONTROL);
@@ -204,7 +262,6 @@ pub fn encode(packet: &AskPacket, layout: &PacketLayout) -> Bytes {
             }
         }
     }
-    buf.freeze()
 }
 
 fn put_entries(buf: &mut BytesMut, entries: &[KvTuple]) {
@@ -271,12 +328,12 @@ fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
                     layout.medium_max_key_len()
                 };
                 need(buf, width + 4)?;
-                let mut padded = vec![0u8; width];
-                buf.copy_to_slice(&mut padded);
-                while padded.last() == Some(&0) {
-                    padded.pop();
-                }
-                let key = Key::new(Bytes::from(padded))?;
+                // Borrow the key bytes from the input buffer (an O(1) slice
+                // of the shared backing storage) instead of copying them
+                // into a fresh per-slot allocation.
+                let raw = buf.copy_to_bytes(width);
+                let key_len = raw.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+                let key = Key::new(raw.slice(0..key_len))?;
                 let value = buf.get_u32();
                 slots.push(Some(KvTuple::new(key, value)));
             }
@@ -340,7 +397,7 @@ fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
             need(buf, 8)?;
             let task = TaskId(buf.get_u32());
             let fetch_seq = buf.get_u32();
-            let entries = get_entries(buf)?;
+            let entries = Arc::new(get_entries(buf)?);
             Ok(AskPacket::FetchReply {
                 task,
                 fetch_seq,
@@ -444,12 +501,29 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 ///
 /// Same conditions as [`encode`].
 pub fn encode_envelope(envelope: &Envelope, layout: &PacketLayout) -> Bytes {
-    let body = encode(&envelope.packet, layout);
-    let mut buf = BytesMut::with_capacity(12 + body.len());
+    encode_envelope_parts(envelope.src, envelope.dst, &envelope.packet, layout)
+}
+
+/// [`encode_envelope`] without requiring an [`Envelope`] to be built first,
+/// so senders can serialize a packet they still own. The whole envelope is
+/// written into a single exactly-sized buffer: the 12-byte header first,
+/// the body directly behind it, then the checksum patched in — no separate
+/// body allocation or copy.
+///
+/// # Panics
+///
+/// Same conditions as [`encode`].
+pub fn encode_envelope_parts(
+    src: u32,
+    dst: u32,
+    packet: &AskPacket,
+    layout: &PacketLayout,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + encoded_size(packet, layout));
     buf.put_u32(0); // checksum placeholder
-    buf.put_u32(envelope.src);
-    buf.put_u32(envelope.dst);
-    buf.put_slice(&body);
+    buf.put_u32(src);
+    buf.put_u32(dst);
+    encode_into(&mut buf, packet, layout);
     let sum = crc32(&buf[4..]);
     buf[0..4].copy_from_slice(&sum.to_be_bytes());
     buf.freeze()
@@ -611,10 +685,64 @@ mod tests {
             &AskPacket::FetchReply {
                 task: TaskId(1),
                 fetch_seq: 3,
-                entries: vec![kv("x", 1)],
+                entries: Arc::new(vec![kv("x", 1)]),
             },
             &layout,
         );
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        let layout = PacketLayout::paper_default();
+        let mut slots = vec![None; layout.slot_count()];
+        slots[0] = Some(kv("ab", 7));
+        slots[17] = Some(kv("mediumk", 42));
+        let packets = vec![
+            AskPacket::Data(DataPacket {
+                task: TaskId(5),
+                channel: ChannelId(2),
+                seq: SeqNo(99),
+                slots,
+            }),
+            AskPacket::LongKv {
+                task: TaskId(1),
+                channel: ChannelId(1),
+                seq: SeqNo(12),
+                entries: vec![kv("a-very-long-key", 5)],
+            },
+            AskPacket::Ack {
+                channel: ChannelId(1),
+                seq: SeqNo(2),
+                ece: true,
+            },
+            AskPacket::Fin {
+                task: TaskId(1),
+                channel: ChannelId(2),
+                seq: SeqNo(3),
+            },
+            AskPacket::Swap { task: TaskId(9) },
+            AskPacket::FetchRequest {
+                task: TaskId(4),
+                scope: FetchScope::All,
+                fetch_seq: 2,
+            },
+            AskPacket::FetchReply {
+                task: TaskId(1),
+                fetch_seq: 3,
+                entries: Arc::new(vec![kv("x", 1), kv("yy", 2)]),
+            },
+            AskPacket::Control(ControlMsg::TaskAnnounce {
+                task: TaskId(7),
+                receiver: 3,
+            }),
+        ];
+        for p in &packets {
+            assert_eq!(
+                encode(p, &layout).len(),
+                encoded_size(p, &layout),
+                "size mismatch for {p}"
+            );
+        }
     }
 
     #[test]

@@ -103,6 +103,60 @@ mod proptests {
             prop_assert_eq!(decode(bytes).unwrap(), p);
         }
 
+        /// Data packets round-trip across the paper-default, short-only,
+        /// and fully custom layouts (mixed short/medium slots).
+        #[test]
+        fn data_roundtrip_across_layouts(
+            pick in 0u8..3,
+            short in 1usize..=32,
+            groups in 1usize..=4,
+            segments in 2usize..=4,
+            task in any::<u32>(),
+            channel in any::<u32>(),
+            seq in any::<u64>(),
+            raw in proptest::collection::vec(
+                proptest::option::of((
+                    proptest::collection::vec(1u8..=255, 1..=16),
+                    any::<u32>(),
+                )),
+                1..=40,
+            ),
+        ) {
+            let layout = match pick {
+                0 => PacketLayout::paper_default(),
+                1 => PacketLayout::short_only(short),
+                _ => PacketLayout::custom(short.min(8), groups, segments),
+            };
+            let n = layout.slot_count();
+            let mut raw = raw;
+            raw.resize(n, None);
+            raw.truncate(n);
+            let slots: Vec<Option<KvTuple>> = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    o.map(|(mut k, v)| {
+                        // Clamp the key to what the slot class can carry.
+                        let max = if layout.is_short_slot(i) {
+                            4
+                        } else {
+                            layout.medium_max_key_len()
+                        };
+                        k.truncate(max);
+                        KvTuple::new(Key::new(Bytes::from(k)).expect("no NUL, non-empty"), v)
+                    })
+                })
+                .collect();
+            let p = AskPacket::Data(DataPacket {
+                task: TaskId(task),
+                channel: ChannelId(channel),
+                seq: SeqNo(seq),
+                slots,
+            });
+            let bytes = encode(&p, &layout);
+            prop_assert_eq!(decode(bytes).unwrap(), p);
+        }
+
         /// Decoding arbitrary garbage never panics.
         #[test]
         fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {

@@ -4,6 +4,7 @@
 use crate::constants::PACKET_OVERHEAD;
 use crate::key::{Key, KPART_BYTES};
 use core::fmt;
+use std::sync::Arc;
 
 /// Identifier of one aggregation task (unique per receiver daemon).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -394,8 +395,10 @@ pub enum AskPacket {
         task: TaskId,
         /// Echo of the request's fetch sequence number.
         fetch_seq: u32,
-        /// Reconstructed (key, aggregated value) pairs.
-        entries: Vec<KvTuple>,
+        /// Reconstructed (key, aggregated value) pairs. Shared so the
+        /// switch's fetch cache, the reply packet, and any retransmitted
+        /// replay all reference one harvest buffer instead of cloning it.
+        entries: Arc<Vec<KvTuple>>,
     },
     /// Daemon/controller control-plane message.
     Control(ControlMsg),

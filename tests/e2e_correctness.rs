@@ -341,7 +341,7 @@ fn single_sender_many_keys_medium_and_short_mixed() {
     for _ in 0..2000 {
         let len = rng.gen_range(1..=10);
         let s: String = (0..len)
-            .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+            .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
             .collect();
         stream.push(kv(&s, rng.gen_range(1..5)));
     }

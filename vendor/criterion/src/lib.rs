@@ -1,0 +1,350 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this minimal, API-compatible harness covering the
+//! surface `benches/` uses: `Criterion::bench_function`,
+//! `benchmark_group` with `Throughput`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up for a fixed wall
+//! interval, then timed over adaptively sized batches until the
+//! measurement interval elapses; the reported figure is the mean time
+//! per iteration with a min/max spread across batches. Like upstream,
+//! the full measurement only runs under `cargo bench` (cargo passes
+//! `--bench`); under `cargo test` each benchmark executes once as a
+//! smoke test.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export point used by benches as `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped per timing sample. The vendored
+/// harness times one input at a time, so the variants only exist for
+/// source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Declared work per iteration, used to report a rate next to the
+/// per-iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// `cargo bench`: full warm-up + measurement.
+    Measure {
+        warm_up: Duration,
+        measure: Duration,
+    },
+    /// `cargo test`: run the routine once to prove it works.
+    Smoke,
+}
+
+/// One benchmark's aggregated timing.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure { warm_up, measure } => {
+                let t0 = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while t0.elapsed() < warm_up {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                // Batch size targeting ~1ms per timing sample.
+                let per_iter = warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+                let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+                let mut batches: Vec<f64> = Vec::new();
+                let mut iters: u64 = 0;
+                let m0 = Instant::now();
+                while m0.elapsed() < measure {
+                    let b0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let ns = b0.elapsed().as_nanos() as f64 / batch as f64;
+                    batches.push(ns);
+                    iters += batch;
+                }
+                *self.result = Some(summarize(&batches, iters));
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { warm_up, measure } => {
+                let t0 = Instant::now();
+                while t0.elapsed() < warm_up {
+                    black_box(routine(setup()));
+                }
+                let mut batches: Vec<f64> = Vec::new();
+                let mut iters: u64 = 0;
+                let m0 = Instant::now();
+                while m0.elapsed() < measure {
+                    let input = setup();
+                    let b0 = Instant::now();
+                    black_box(routine(input));
+                    batches.push(b0.elapsed().as_nanos() as f64);
+                    iters += 1;
+                }
+                *self.result = Some(summarize(&batches, iters));
+            }
+        }
+    }
+}
+
+fn summarize(batches: &[f64], iters: u64) -> Sample {
+    let n = batches.len().max(1) as f64;
+    let mean = batches.iter().sum::<f64>() / n;
+    let min = batches.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = batches.iter().copied().fold(0.0f64, f64::max);
+    Sample {
+        mean_ns: mean,
+        min_ns: if min.is_finite() { min } else { mean },
+        max_ns: max.max(mean),
+        iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Entry point owned by `criterion_group!`-generated functions.
+pub struct Criterion {
+    mode: Mode,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` to bench targets under `cargo bench`;
+        // under `cargo test` (no flag) run in fast smoke mode, like
+        // upstream criterion's test mode.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        let mode = if bench_mode {
+            Mode::Measure {
+                warm_up: duration_from_env("CRITERION_WARM_UP_MS", 300),
+                measure: duration_from_env("CRITERION_MEASURE_MS", 1000),
+            }
+        } else {
+            Mode::Smoke
+        };
+        Criterion {
+            mode,
+            throughput: None,
+        }
+    }
+}
+
+fn duration_from_env(var: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+impl Criterion {
+    /// Accepted for compatibility with generated group functions.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.report(name, result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn report(&self, name: &str, sample: Option<Sample>) {
+        let Some(s) = sample else {
+            if matches!(self.mode, Mode::Smoke) {
+                println!("{name:<40} ok (smoke)");
+            }
+            return;
+        };
+        let mut line = format!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns)
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = count as f64 / (s.mean_ns * 1e-9);
+            let _ = write!(line, "  thrpt: {}", fmt_rate(per_sec, unit));
+        }
+        let _ = write!(line, "  ({} iters)", s.iters);
+        println!("{line}");
+    }
+}
+
+/// Scoped group sharing a throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.c.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.c.throughput = None;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        // Unit tests never pass --bench, so Criterion::default() is in
+        // smoke mode and bench bodies execute exactly once per call.
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut batched = 0;
+        c.bench_function("probe_batched", |b| {
+            b.iter_batched(|| 3, |v| batched += v, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 3);
+    }
+
+    #[test]
+    fn groups_scope_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| b.iter(|| ()));
+            g.finish();
+        }
+        assert!(c.throughput.is_none(), "finish clears group throughput");
+    }
+}
