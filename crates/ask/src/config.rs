@@ -70,6 +70,11 @@ pub struct AskConfig {
     /// maximum window defined in the reliability mechanism"). Off by
     /// default, matching the prototype.
     pub congestion_control: bool,
+    /// Keeps an exact `(channel, seq)` absorption journal on the switch so a
+    /// conformance harness can prove "no sequence number is aggregated
+    /// twice". Pure oracle bookkeeping — no hardware analogue, no effect on
+    /// the data path — and off by default.
+    pub absorption_audit: bool,
 }
 
 impl AskConfig {
@@ -92,6 +97,7 @@ impl AskConfig {
             trace_capacity: 0,
             force_host_only: false,
             congestion_control: false,
+            absorption_audit: false,
         }
     }
 

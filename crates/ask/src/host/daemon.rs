@@ -91,6 +91,25 @@ enum FetchState {
     },
 }
 
+/// Read-only view of one data channel's reliability state, for invariant
+/// checks (the conformance harness proves `peak_in_flight <= window` and
+/// that everything drains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// The channel's global id.
+    pub channel: ChannelId,
+    /// Next sequence number the sender will use.
+    pub next_seq: u64,
+    /// Unacknowledged packets right now.
+    pub in_flight: usize,
+    /// High-water mark of `in_flight` over the run.
+    pub peak_in_flight: usize,
+    /// Items still queued behind the window.
+    pub queued: usize,
+    /// Unacked FIN-gating packets summed over tasks.
+    pub outstanding: u64,
+}
+
 /// Completed aggregation result, exposed to the application.
 #[derive(Debug, Clone)]
 pub struct TaskResult {
@@ -297,6 +316,86 @@ impl AskDaemon {
     /// [`AskConfig::trace_capacity`](crate::config::AskConfig) is set).
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// Snapshots every data channel's window state (empty before the daemon
+    /// has started).
+    pub fn channel_snapshots(&self) -> Vec<ChannelSnapshot> {
+        self.channels
+            .iter()
+            .map(|ch| ChannelSnapshot {
+                channel: ch.id,
+                next_seq: ch.window.next_seq(),
+                in_flight: ch.window.in_flight(),
+                peak_in_flight: ch.window.peak_in_flight(),
+                queued: ch.queue.len(),
+                outstanding: ch.outstanding.values().sum(),
+            })
+            .collect()
+    }
+
+    /// The configured sliding-window limit `W`, in packets.
+    pub fn window_limit(&self) -> usize {
+        self.config.window
+    }
+
+    /// Highest sequence number the receiver window has observed on
+    /// `channel`, if any packet arrived on it.
+    pub fn receiver_max_seq(&self, channel: ChannelId) -> Option<u64> {
+        self.recv_windows.get(&channel).map(|w| w.max_seq())
+    }
+
+    /// True while a fetch request for `task` is outstanding.
+    pub fn fetch_pending(&self, task: TaskId) -> bool {
+        matches!(
+            self.recv_tasks.get(&task).map(|rt| rt.fetch),
+            Some(FetchState::Pending { .. })
+        )
+    }
+
+    /// Simulates the daemon restarting from its crash-consistent state
+    /// (window contents and task tables survive; pacing and armed timers do
+    /// not): every in-flight packet is retransmitted — the receiver's
+    /// window dedups the ones whose originals got through — pump pacing is
+    /// reset, and any pending fetch is re-requested. Deterministic: channels
+    /// in index order, fetches in task-id order.
+    pub fn recover(&mut self, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+        for ch_ix in 0..self.channels.len() {
+            let seqs = {
+                let ch = &mut self.channels[ch_ix];
+                ch.pump_armed = false;
+                ch.busy_until = SimTime::ZERO;
+                ch.window.in_flight_seqs()
+            };
+            for seq in seqs {
+                self.retransmit(ch_ix, seq, ctx);
+            }
+            self.pump(ch_ix, ctx);
+        }
+        let mut pending: Vec<(TaskId, u32, FetchScope)> = self
+            .recv_tasks
+            .iter()
+            .filter_map(|(&task, rt)| match rt.fetch {
+                FetchState::Pending {
+                    fetch_seq, scope, ..
+                } => Some((task, fetch_seq, scope)),
+                FetchState::Idle => None,
+            })
+            .collect();
+        pending.sort_unstable_by_key(|&(task, ..)| task.0);
+        for (task, fetch_seq, scope) in pending {
+            self.send_to(
+                self.switch.index() as u32,
+                AskPacket::FetchRequest {
+                    task,
+                    scope,
+                    fetch_seq,
+                },
+                ctx,
+            );
+            ctx.set_timer(self.config.fetch_timeout, token_fetch(task, fetch_seq));
+        }
     }
 
     // ------------------------------------------------------------------

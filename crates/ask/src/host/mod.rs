@@ -10,7 +10,7 @@ pub mod window;
 pub use congestion::CongestionWindow;
 pub use trace::{TraceEvent, TraceLog};
 
-pub use daemon::{AskDaemon, TaskResult, CHANNEL_STRIDE};
+pub use daemon::{AskDaemon, ChannelSnapshot, TaskResult, CHANNEL_STRIDE};
 pub use packetizer::{PacketizedStream, Packetizer};
 pub use receiver::ReceiverWindow;
 pub use window::{InFlight, SenderWindow};

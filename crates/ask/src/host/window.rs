@@ -28,11 +28,18 @@ pub struct InFlight {
 }
 
 /// Sliding send window over one data channel's sequence space.
+///
+/// Sequence numbers are modular (`u64` wrapping): all window arithmetic is
+/// phrased as wrapping distances from `next_seq`, so the window keeps
+/// working across the `u64::MAX → 0` wraparound. An in-flight sequence `s`
+/// is always within `W` behind `next_seq`, which makes
+/// `next_seq.wrapping_sub(s) ∈ [1, W]` the age of `s`.
 #[derive(Debug)]
 pub struct SenderWindow {
     w: u64,
     next_seq: u64,
     inflight: BTreeMap<u64, InFlight>,
+    peak_inflight: usize,
 }
 
 impl SenderWindow {
@@ -42,26 +49,67 @@ impl SenderWindow {
     ///
     /// Panics if `w == 0`.
     pub fn new(w: usize) -> Self {
+        Self::with_start_seq(w, 0)
+    }
+
+    /// Creates a window whose first transmission will use sequence number
+    /// `start` — lets tests start the sequence space anywhere, notably just
+    /// below the `u64` wraparound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn with_start_seq(w: usize, start: u64) -> Self {
         assert!(w > 0, "window must be positive");
         SenderWindow {
             w: w as u64,
-            next_seq: 0,
+            next_seq: start,
             inflight: BTreeMap::new(),
+            peak_inflight: 0,
         }
     }
 
     /// True if the window permits transmitting the next sequence number:
-    /// `next_seq < oldest_unacked + W`.
+    /// the oldest unacknowledged packet is less than `W` behind `next_seq`
+    /// (in wrapping distance).
     pub fn can_send(&self) -> bool {
-        match self.inflight.keys().next() {
-            Some(&oldest) => self.next_seq < oldest + self.w,
+        match self.oldest_unacked() {
+            Some(oldest) => self.next_seq.wrapping_sub(oldest) < self.w,
             None => true,
         }
+    }
+
+    /// The oldest (logically, not numerically) unacknowledged sequence.
+    ///
+    /// In-flight sequences live in the half-open modular interval
+    /// `[next_seq - W, next_seq)`; keys numerically `>= next_seq` are the
+    /// pre-wrap tail of that interval and therefore older than any key
+    /// below `next_seq`.
+    pub fn oldest_unacked(&self) -> Option<u64> {
+        self.inflight
+            .range(self.next_seq..)
+            .next()
+            .map(|(&s, _)| s)
+            .or_else(|| self.inflight.keys().next().copied())
     }
 
     /// Number of unacknowledged packets.
     pub fn in_flight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// High-water mark of [`SenderWindow::in_flight`] over the window's
+    /// lifetime — the invariant `peak_in_flight ≤ W` is what a conformance
+    /// harness checks to prove the sender never overran its window.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_inflight
+    }
+
+    /// The in-flight sequence numbers, oldest first (wraparound-aware).
+    pub fn in_flight_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self.inflight.range(self.next_seq..).map(|(&s, _)| s).collect();
+        seqs.extend(self.inflight.range(..self.next_seq).map(|(&s, _)| s));
+        seqs
     }
 
     /// The sequence number the next send will use.
@@ -84,7 +132,8 @@ impl SenderWindow {
     ) -> u64 {
         assert!(self.can_send(), "window full");
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.peak_inflight = self.peak_inflight.max(self.inflight.len() + 1);
         self.inflight.insert(
             seq,
             InFlight {
@@ -190,5 +239,158 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_window_rejected() {
         let _ = SenderWindow::new(0);
+    }
+
+    #[test]
+    fn window_slides_across_u64_wraparound() {
+        // Start two packets shy of u64::MAX and stream 16 packets through a
+        // window of 4: sequence numbers wrap through 0 and the window keeps
+        // sliding (the old `oldest + w` arithmetic overflowed here).
+        let mut w = SenderWindow::with_start_seq(4, u64::MAX - 2);
+        let mut expected = u64::MAX - 2;
+        for _ in 0..16 {
+            assert!(w.can_send());
+            let seq = w.register(dummy_packet(0), Bytes::new(), 0, 1, None);
+            assert_eq!(seq, expected);
+            assert!(w.ack(seq).is_some());
+            expected = expected.wrapping_add(1);
+        }
+        assert!(w.is_idle());
+        assert_eq!(w.peak_in_flight(), 1);
+    }
+
+    #[test]
+    fn oldest_unacked_is_wraparound_aware() {
+        let mut w = SenderWindow::with_start_seq(4, u64::MAX - 1);
+        let a = w.register(dummy_packet(0), Bytes::new(), 0, 1, None); // MAX-1
+        let b = w.register(dummy_packet(0), Bytes::new(), 0, 1, None); // MAX
+        let c = w.register(dummy_packet(0), Bytes::new(), 0, 1, None); // 0
+        assert_eq!((a, b, c), (u64::MAX - 1, u64::MAX, 0));
+        // Numerically the smallest key is 0, but logically MAX-1 is oldest.
+        assert_eq!(w.oldest_unacked(), Some(u64::MAX - 1));
+        assert_eq!(w.in_flight_seqs(), vec![u64::MAX - 1, u64::MAX, 0]);
+        assert!(w.can_send(), "3 of 4 slots used");
+        w.register(dummy_packet(0), Bytes::new(), 0, 1, None); // 1
+        assert!(!w.can_send(), "window full across the wrap");
+        assert!(w.ack(u64::MAX - 1).is_some());
+        assert!(w.can_send(), "acking the oldest slides the window");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            /// For any start point — including just below the u64 wrap —
+            /// and any interleaving of sends and (possibly duplicate) ACKs,
+            /// the window behaves exactly like an ideal model over
+            /// non-wrapping virtual positions: same sequence assignment,
+            /// same can-send verdict, and never more than `W` in flight.
+            #[test]
+            fn wraparound_matches_unwrapped_model(
+                seed in any::<u64>(),
+                w in 1usize..12,
+                // Bias starts around the wrap point and a few "plain" spots.
+                start_back in 0u64..40,
+                plain_start in prop_oneof![Just(false), Just(true)],
+                steps in 32usize..200,
+            ) {
+                let start = if plain_start {
+                    start_back // near zero
+                } else {
+                    u64::MAX.wrapping_sub(start_back) // near the wrap
+                };
+                let mut sw = SenderWindow::with_start_seq(w, start);
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Model: virtual (non-wrapping) positions of in-flight sends.
+                let mut inflight_virt: Vec<u64> = Vec::new();
+                let mut next_virt: u64 = 0;
+                for _ in 0..steps {
+                    let model_can_send = match inflight_virt.first() {
+                        Some(&oldest) => next_virt - oldest < w as u64,
+                        None => true,
+                    };
+                    prop_assert_eq!(sw.can_send(), model_can_send);
+                    prop_assert!(sw.in_flight() <= w);
+                    if model_can_send && (inflight_virt.is_empty() || rng.gen_bool(0.6)) {
+                        let seq = sw.register(dummy_packet(0), Bytes::new(), 0, 1, None);
+                        prop_assert_eq!(seq, start.wrapping_add(next_virt));
+                        inflight_virt.push(next_virt);
+                        next_virt += 1;
+                    } else if !inflight_virt.is_empty() {
+                        // Ack a random in-flight packet (ACKs reorder freely);
+                        // occasionally replay an old ACK to model duplicates.
+                        let ix = rng.gen_range(0..inflight_virt.len());
+                        let virt = inflight_virt.remove(ix);
+                        let seq = start.wrapping_add(virt);
+                        prop_assert!(sw.ack(seq).is_some());
+                        if rng.gen_bool(0.3) {
+                            prop_assert!(sw.ack(seq).is_none(), "duplicate ACK");
+                        }
+                    }
+                    prop_assert_eq!(sw.in_flight(), inflight_virt.len());
+                    let model_oldest =
+                        inflight_virt.first().map(|&v| start.wrapping_add(v));
+                    prop_assert_eq!(sw.oldest_unacked(), model_oldest);
+                }
+                prop_assert!(sw.peak_in_flight() <= w);
+            }
+
+            /// Retransmit/ACK lifecycle under duplicate ACKs: a duplicate
+            /// ACK never resurrects a packet, never unblocks extra sends,
+            /// and a retransmission after a duplicate ACK is a no-op for
+            /// acked packets while unacked ones keep counting attempts.
+            #[test]
+            fn retransmit_after_duplicate_ack(
+                seed in any::<u64>(),
+                w in 2usize..10,
+                steps in 20usize..120,
+            ) {
+                let mut sw = SenderWindow::new(w);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut live: Vec<(u64, u32)> = Vec::new(); // (seq, retransmits)
+                let mut acked: Vec<u64> = Vec::new();
+                for _ in 0..steps {
+                    match rng.gen_range(0..4u8) {
+                        0 if sw.can_send() => {
+                            let seq =
+                                sw.register(dummy_packet(0), Bytes::new(), 0, 1, None);
+                            live.push((seq, 0));
+                        }
+                        1 if !live.is_empty() => {
+                            let ix = rng.gen_range(0..live.len());
+                            let (seq, retx) = live.remove(ix);
+                            let entry = sw.ack(seq);
+                            prop_assert!(entry.is_some());
+                            prop_assert_eq!(entry.unwrap().retransmits, retx);
+                            acked.push(seq);
+                        }
+                        2 if !live.is_empty() => {
+                            // Timeout fires for an in-flight packet.
+                            let ix = rng.gen_range(0..live.len());
+                            live[ix].1 += 1;
+                            let seq = live[ix].0;
+                            let got = sw.retransmit(seq);
+                            prop_assert!(got.is_some());
+                            prop_assert_eq!(got.unwrap().retransmits, live[ix].1);
+                        }
+                        _ if !acked.is_empty() => {
+                            // Duplicate ACK, then a late timeout for the same
+                            // sequence: both must be inert.
+                            let seq = acked[rng.gen_range(0..acked.len())];
+                            let before = sw.in_flight();
+                            prop_assert!(sw.ack(seq).is_none());
+                            prop_assert!(sw.retransmit(seq).is_none());
+                            prop_assert_eq!(sw.in_flight(), before);
+                        }
+                        _ => {}
+                    }
+                    prop_assert!(sw.in_flight() <= w);
+                }
+                prop_assert_eq!(sw.in_flight(), live.len());
+            }
+        }
     }
 }

@@ -23,6 +23,7 @@ pub struct AskServiceBuilder {
     hosts: usize,
     link: LinkConfig,
     seed: u64,
+    fault_seed: Option<u64>,
 }
 
 impl AskServiceBuilder {
@@ -33,6 +34,7 @@ impl AskServiceBuilder {
             hosts,
             link: LinkConfig::new(100e9, SimDuration::from_micros(1)),
             seed: 1,
+            fault_seed: None,
         }
     }
 
@@ -54,6 +56,14 @@ impl AskServiceBuilder {
         self
     }
 
+    /// Seeds the fault-model RNG separately from the simulation seed, so a
+    /// chaos sweep can explore fault patterns while everything else stays
+    /// pinned. Defaults to the simulation seed.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
     /// Builds the deployment.
     ///
     /// # Panics
@@ -62,6 +72,9 @@ impl AskServiceBuilder {
     pub fn build(self) -> AskService {
         assert!(self.hosts > 0, "need at least one host");
         let mut b = NetworkBuilder::new(self.seed);
+        if let Some(fault_seed) = self.fault_seed {
+            b.set_fault_seed(fault_seed);
+        }
         let switch = b.add_node(AskSwitch::new(self.config.clone()));
         let hosts: Vec<NodeId> = (0..self.hosts)
             .map(|_| {
@@ -122,6 +135,30 @@ impl AskService {
     pub fn daemon(&self, host: NodeId) -> &AskDaemon {
         assert!(self.hosts.contains(&host), "unknown host {host}");
         self.network.node(host)
+    }
+
+    /// Read-only access to the switch node (engine counters, violation
+    /// journal).
+    pub fn switch_ref(&self) -> &AskSwitch {
+        self.network.node(self.switch)
+    }
+
+    /// Mutable access to the switch node (chaos injection hooks).
+    pub fn switch_mut(&mut self) -> &mut AskSwitch {
+        self.network.node_mut(self.switch)
+    }
+
+    /// Restarts `host`'s daemon mid-run ([`AskDaemon::recover`]): in-flight
+    /// packets are retransmitted from the crash-consistent window and
+    /// pending fetches re-driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not a host of this deployment.
+    pub fn recover_host(&mut self, host: NodeId) {
+        assert!(self.hosts.contains(&host), "unknown host {host}");
+        self.network
+            .with_node::<AskDaemon, _>(host, |daemon, ctx| daemon.recover(ctx));
     }
 
     /// Submits an aggregation task: `receiver` collects the streams of all

@@ -30,6 +30,10 @@ pub struct SwitchTaskStats {
     pub swaps: u64,
     /// Key-value pairs harvested by fetches.
     pub tuples_fetched: u64,
+    /// Sequence numbers absorbed more than once — exactly-once violations
+    /// caught by the absorption audit
+    /// ([`crate::config::AskConfig::absorption_audit`]). Must stay 0.
+    pub duplicate_absorptions: u64,
 }
 
 impl SwitchTaskStats {
@@ -68,6 +72,7 @@ impl SwitchTaskStats {
         self.stale_dropped += other.stale_dropped;
         self.swaps += other.swaps;
         self.tuples_fetched += other.tuples_fetched;
+        self.duplicate_absorptions += other.duplicate_absorptions;
     }
 }
 

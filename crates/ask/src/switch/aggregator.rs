@@ -25,14 +25,15 @@
 
 use crate::config::AskConfig;
 use crate::stats::SwitchTaskStats;
-use ask_pisa::pipeline::{ArrayId, Pass, Pipeline};
+use ask_pisa::error::AccessError;
+use ask_pisa::pipeline::{ArrayId, Pass, Pipeline, Violation};
 use ask_pisa::spec::PipelineSpec;
 use ask_pisa::table::TableId;
 use ask_wire::key::Key;
 use ask_wire::packet::{
     AaRegion, AggregateOp, ChannelId, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Mixes a key hash into an aggregator index, decorrelated from the
@@ -122,6 +123,10 @@ pub struct AggregatorEngine {
     /// reliability state and aggregation; other (cross-rack) channels are
     /// pure-forwarded (§7 "Deployment in Multi-rack networks").
     local_hosts: Option<std::collections::HashSet<u32>>,
+    /// Exact `(channel, seq)` absorption journal, kept only when
+    /// [`AskConfig::absorption_audit`] is set. Oracle bookkeeping for the
+    /// conformance harness — real hardware has no analogue.
+    absorbed_seqs: Option<HashSet<(ChannelId, u64)>>,
 }
 
 impl AggregatorEngine {
@@ -167,6 +172,7 @@ impl AggregatorEngine {
 
         let free_indicators = (0..config.max_tasks).rev().collect();
         let free_regions = vec![(0, config.aggregators_per_aa as u32)];
+        let absorbed_seqs = config.absorption_audit.then(HashSet::new);
         AggregatorEngine {
             config,
             pipeline,
@@ -182,6 +188,7 @@ impl AggregatorEngine {
             free_indicators,
             free_regions,
             local_hosts: None,
+            absorbed_seqs,
         }
     }
 
@@ -330,30 +337,28 @@ impl AggregatorEngine {
         ch_slot: usize,
         window: usize,
         seq: u64,
-    ) -> Observation {
+    ) -> Result<Observation, AccessError> {
         let w = window as u64;
-        let new_max = pass
-            .access(max_seq, ch_slot, |v| {
-                *v = (*v).max(seq);
-                *v
-            })
-            .expect("max_seq access");
+        let new_max = pass.access(max_seq, ch_slot, |v| {
+            *v = (*v).max(seq);
+            *v
+        })?;
         if seq + w <= new_max {
-            return Observation::Stale;
+            return Ok(Observation::Stale);
         }
         let r = (seq % w) as usize;
         let q_even = (seq / w).is_multiple_of(2);
         let bit = ch_slot * window + r;
         let observed = if q_even {
-            pass.set_bit(seen, bit).expect("seen access")
+            pass.set_bit(seen, bit)?
         } else {
-            pass.clr_bitc(seen, bit).expect("seen access")
+            pass.clr_bitc(seen, bit)?
         };
-        if observed {
+        Ok(if observed {
             Observation::Duplicate
         } else {
             Observation::First
-        }
+        })
     }
 
     /// Dedup-gates a bypass packet (long-kv or FIN) that shares the
@@ -373,6 +378,9 @@ impl AggregatorEngine {
             self.config.window,
             seq.0,
         )
+        // Degraded mode (violation journaled by the pipeline): forward as a
+        // first sighting — the receiver's own window dedups bypass packets.
+        .unwrap_or(Observation::First)
     }
 
     /// Records a forwarded long-key bypass packet in the task's counters.
@@ -403,31 +411,51 @@ impl AggregatorEngine {
 
         // Stage 0: resolve the task through the match-action table, then
         // read its copy indicator (one access per table/array).
-        let action = pass
-            .lookup(self.task_table, pkt.task.0 as u64)
-            .expect("single lookup per pass");
+        //
+        // Any register-access violation below is journaled by the pipeline
+        // and degrades the pass to plain forwarding: the packet goes out
+        // untouched, nothing has been absorbed yet, and the receiver's own
+        // window dedups — the one unsafe act (absorbing twice) never
+        // happens in degraded mode.
+        let action = match pass.lookup(self.task_table, pkt.task.0 as u64) {
+            Ok(a) => a,
+            Err(_) => {
+                drop(pass);
+                return DataVerdict::Forward(pkt);
+            }
+        };
         let (task_region, copy, op) = match action {
             Some(words) => {
                 let region = AaRegion {
                     base: words[0] as u32,
                     aggregators: words[1] as u32,
                 };
-                let copy = pass
-                    .access(self.copy_indicator, words[2] as usize, |v| *v)
-                    .expect("indicator access") as usize;
+                let copy = match pass.access(self.copy_indicator, words[2] as usize, |v| *v) {
+                    Ok(c) => c as usize,
+                    Err(_) => {
+                        drop(pass);
+                        return DataVerdict::Forward(pkt);
+                    }
+                };
                 (Some(region), copy, AggregateOp::from_code(words[3] as u8))
             }
             None => (None, 0, AggregateOp::Sum),
         };
 
-        let obs = Self::observe_in_pass(
+        let obs = match Self::observe_in_pass(
             &mut pass,
             self.max_seq,
             self.seen,
             ch_slot,
             window,
             pkt.seq.0,
-        );
+        ) {
+            Ok(o) => o,
+            Err(_) => {
+                drop(pass);
+                return DataVerdict::Forward(pkt);
+            }
+        };
         let state_idx = ch_slot * window + (pkt.seq.0 % window as u64) as usize;
 
         match obs {
@@ -452,16 +480,26 @@ impl AggregatorEngine {
                 } else {
                     (Vec::new(), 0, pkt.occupied() as u64)
                 };
-                // Final stage: record the post-aggregation bitmap.
-                pass.access(self.pkt_state, state_idx, |v| *v = pkt.bitmap() as u64)
-                    .expect("PktState write");
+                // Final stage: record the post-aggregation bitmap. On a
+                // violation the write is skipped (journaled); a later
+                // duplicate then reads whatever the register held.
+                let _ = pass.access(self.pkt_state, state_idx, |v| *v = pkt.bitmap() as u64);
                 drop(pass);
                 let empty = pkt.is_empty();
+                // Conformance audit: absorbing tuples from a sequence the
+                // journal has already seen is an exactly-once violation.
+                let dup_absorb = match self.absorbed_seqs.as_mut() {
+                    Some(journal) if aggregated > 0 => {
+                        u64::from(!journal.insert((pkt.channel, pkt.seq.0)))
+                    }
+                    _ => 0,
+                };
                 if let Some(t) = self.tasks.get_mut(&pkt.task) {
                     t.claims[copy].extend(new_claims);
                     t.stats.data_packets += 1;
                     t.stats.tuples_aggregated += aggregated;
                     t.stats.tuples_forwarded += forwarded;
+                    t.stats.duplicate_absorptions += dup_absorb;
                     if empty {
                         t.stats.packets_fully_aggregated += 1;
                     } else {
@@ -475,10 +513,13 @@ impl AggregatorEngine {
                 }
             }
             Observation::Duplicate => {
-                // Skip the AAs entirely; restore the recorded bitmap.
-                let stored = pass
-                    .access(self.pkt_state, state_idx, |v| *v)
-                    .expect("PktState read") as u128;
+                // Skip the AAs entirely; restore the recorded bitmap. If the
+                // read itself violates (journaled), fall back to forwarding
+                // the whole packet: never re-aggregate a duplicate.
+                let stored = match pass.access(self.pkt_state, state_idx, |v| *v) {
+                    Ok(v) => v as u128,
+                    Err(_) => u128::MAX,
+                };
                 drop(pass);
                 if let Some(t) = self.tasks.get_mut(&pkt.task) {
                     t.stats.duplicates_detected += 1;
@@ -602,7 +643,9 @@ impl AggregatorEngine {
                 SegmentOutcome::Conflict
             }
         })
-        .expect("AA access")
+        // Degraded mode: an unreachable aggregator is a conflict — the
+        // tuple is forwarded to the host, never silently dropped.
+        .unwrap_or(SegmentOutcome::Conflict)
     }
 
     /// Flips the task's copy indicator (Algorithm 1's `Switch()`); data
@@ -614,8 +657,9 @@ impl AggregatorEngine {
         entry.stats.swaps += 1;
         let idx = entry.indicator_idx;
         let mut pass = self.pipeline.begin_pass();
-        pass.access(self.copy_indicator, idx, |v| *v ^= 1)
-            .expect("indicator flip");
+        // A violated flip (journaled) leaves the indicator unchanged: both
+        // copies stay consistent, the swap simply did not take effect.
+        let _ = pass.access(self.copy_indicator, idx, |v| *v ^= 1);
     }
 
     /// The task's currently active copy (0 or 1); `None` for unknown tasks.
@@ -719,6 +763,42 @@ impl AggregatorEngine {
     /// Total passes the pipeline has executed (one per packet or swap).
     pub fn passes_executed(&self) -> u64 {
         self.pipeline.passes_executed()
+    }
+
+    /// Register-access/stage-order violations the pipeline journaled. The
+    /// conformance harness's PISA-legality invariant is `== 0`.
+    pub fn constraint_violations(&self) -> u64 {
+        self.pipeline.violation_count()
+    }
+
+    /// The recorded violation journal (bounded; see [`Pipeline::violations`]).
+    pub fn violations(&self) -> &[Violation] {
+        self.pipeline.violations()
+    }
+
+    /// Total exactly-once violations seen by the absorption audit, across
+    /// live and released tasks. Always 0 when the audit is disabled.
+    pub fn duplicate_absorptions(&self) -> u64 {
+        self.tasks
+            .values()
+            .map(|t| t.stats.duplicate_absorptions)
+            .chain(self.finished_stats.values().map(|s| s.duplicate_absorptions))
+            .sum()
+    }
+
+    /// Chaos hook: flips the compact `seen` bit covering `(channel, seq)`,
+    /// simulating an SRAM upset in the dedup window. Returns `false` if the
+    /// channel has no reliability state. Control-plane access — this is
+    /// fault *injection*, not part of the switch program.
+    pub fn inject_seen_bit_flip(&mut self, channel: ChannelId, seq: SeqNo) -> bool {
+        let Some(&slot) = self.channel_slots.get(&channel) else {
+            return false;
+        };
+        let w = self.config.window;
+        let bit = slot * w + (seq.0 % w as u64) as usize;
+        let cur = self.pipeline.control_read(self.seen, bit);
+        self.pipeline.control_write(self.seen, bit, cur ^ 1);
+        true
     }
 
     /// Per-stage resource usage of the compiled switch program.
@@ -1050,6 +1130,50 @@ mod tests {
             );
         }
         assert_eq!(e.fetch(TaskId(1), FetchScope::All, 1)[0].value as u64, w);
+    }
+
+    #[test]
+    fn seen_bit_flip_reabsorption_is_invisible_to_values_but_audited() {
+        // The bug class the value-comparing e2e suite can never catch: under
+        // AggregateOp::Max, absorbing the same packet twice leaves the final
+        // value unchanged (max(v, v) = v). Only the absorption audit sees it.
+        let mut cfg = AskConfig::tiny();
+        cfg.absorption_audit = true;
+        let mut e = AggregatorEngine::new(cfg);
+        e.register_task_with_op(TaskId(1), 9, AggregateOp::Max)
+            .unwrap();
+        let p = pkt(1, 0, 0, &[(0, "cat", 7)]);
+        assert_eq!(e.process_data(p.clone()), DataVerdict::FullyAggregated);
+        assert!(e.inject_seen_bit_flip(ChannelId(0), SeqNo(0)));
+        // The retransmission now passes the corrupted dedup gate.
+        assert_eq!(e.process_data(p), DataVerdict::FullyAggregated);
+        assert_eq!(
+            e.fetch(TaskId(1), FetchScope::All, 1)[0].value,
+            7,
+            "value oracle is blind to the double absorption"
+        );
+        assert_eq!(e.duplicate_absorptions(), 1, "the audit is not");
+        assert_eq!(e.task_stats(TaskId(1)).unwrap().duplicate_absorptions, 1);
+    }
+
+    #[test]
+    fn normal_runs_report_no_violations_or_duplicate_absorptions() {
+        let mut cfg = AskConfig::tiny();
+        cfg.absorption_audit = true;
+        let mut e = AggregatorEngine::new(cfg);
+        e.register_task(TaskId(1), 9).unwrap();
+        for seq in 0..20 {
+            e.process_data(pkt(1, 0, seq, &[(0, "cat", 1), (4, "maples", 2)]));
+            if seq % 3 == 0 {
+                // Honest retransmissions must not trip the audit.
+                e.process_data(pkt(1, 0, seq, &[(0, "cat", 1), (4, "maples", 2)]));
+            }
+        }
+        e.swap(TaskId(1));
+        e.fetch(TaskId(1), FetchScope::All, 1);
+        assert_eq!(e.constraint_violations(), 0);
+        assert!(e.violations().is_empty());
+        assert_eq!(e.duplicate_absorptions(), 0);
     }
 
     #[test]

@@ -86,6 +86,107 @@ impl Baseline {
     }
 }
 
+/// Sections faster than this are exempt from regression comparison: at
+/// sub-half-second scale, run-to-run scheduler noise alone exceeds the
+/// comparison tolerance (measured ~±30% for 0.1 s sections on an idle
+/// machine; fig12's analytical model finishes in microseconds).
+pub const NOISE_FLOOR_S: f64 = 0.5;
+
+/// Extracts `(name, seconds)` pairs from a baseline JSON document produced
+/// by [`Baseline::render`]. Returns `None` when no section can be found
+/// (wrong file, truncated write). A scanning parser is enough here: the
+/// format is fixed by `render`, and the workspace carries no serde.
+pub fn parse_sections(json: &str) -> Option<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(ix) = rest.find("\"name\"") {
+        rest = &rest[ix + "\"name\"".len()..];
+        let open = rest.find('"')?;
+        let close = open + 1 + rest[open + 1..].find('"')?;
+        let name = rest[open + 1..close].to_string();
+        rest = &rest[close + 1..];
+        let sx = rest.find("\"seconds\"")?;
+        let after = &rest[sx + "\"seconds\"".len()..];
+        let colon = after.find(':')?;
+        let num: String = after[colon + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        out.push((name, num.parse().ok()?));
+        rest = after;
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// Outcome of comparing a fresh run against a committed baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// One human-readable line per section.
+    pub lines: Vec<String>,
+    /// Sections slower than the tolerance allows, or missing entirely.
+    pub regressions: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when no section regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares fresh section timings against the committed baseline.
+///
+/// A section regresses when it is more than `tolerance` (relative, e.g.
+/// `0.25` for +25%) slower than the committed time, or when it vanished
+/// from the fresh run. Sections whose committed time sits below
+/// [`NOISE_FLOOR_S`] are reported but never fail — at that magnitude the
+/// timer measures scheduler luck, not code. Speedups beyond the tolerance
+/// are noted so a suspicious "improvement" (a benchmark silently doing
+/// less work) is still visible in the log.
+pub fn compare_sections(
+    committed: &[(String, f64)],
+    fresh: &[(String, f64)],
+    tolerance: f64,
+) -> CompareReport {
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for (name, base_s) in committed {
+        let Some((_, fresh_s)) = fresh.iter().find(|(n, _)| n == name) else {
+            regressions.push(format!("section {name} missing from fresh run"));
+            continue;
+        };
+        let delta = if *base_s > 0.0 {
+            (fresh_s - base_s) / base_s
+        } else {
+            0.0
+        };
+        let verdict = if *base_s < NOISE_FLOOR_S {
+            "noise-floor (exempt)"
+        } else if delta > tolerance {
+            regressions.push(format!(
+                "section {name} regressed: {base_s:.3}s -> {fresh_s:.3}s ({:+.0}%)",
+                delta * 100.0
+            ));
+            "REGRESSED"
+        } else if delta < -tolerance {
+            "faster (check benchmark still does the same work)"
+        } else {
+            "ok"
+        };
+        lines.push(format!(
+            "{name}: committed {base_s:.3}s fresh {fresh_s:.3}s ({:+.1}%) {verdict}",
+            delta * 100.0
+        ));
+    }
+    for (name, fresh_s) in fresh {
+        if !committed.iter().any(|(n, _)| n == name) {
+            lines.push(format!("{name}: new section ({fresh_s:.3}s), no baseline"));
+        }
+    }
+    CompareReport { lines, regressions }
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -120,6 +221,51 @@ mod tests {
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let mut b = Baseline::new(Scale::Quick, 2);
+        b.record("fig3", Duration::from_millis(1500));
+        b.record("fig12", Duration::from_micros(16));
+        let sections = parse_sections(&b.render()).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "fig3");
+        assert!((sections[0].1 - 1.5).abs() < 1e-9);
+        assert!((sections[1].1 - 0.000016).abs() < 1e-9);
+        assert!(parse_sections("{}").is_none());
+        assert!(parse_sections("not json at all").is_none());
+    }
+
+    #[test]
+    fn compare_flags_regressions_but_not_noise_floor_sections() {
+        let committed = vec![
+            ("fig3".to_string(), 1.0),
+            ("fig12".to_string(), 0.000016),
+            ("gone".to_string(), 2.0),
+        ];
+        let fresh = vec![
+            ("fig3".to_string(), 1.5),
+            ("fig12".to_string(), 0.08),
+            ("brand_new".to_string(), 0.5),
+        ];
+        let report = compare_sections(&committed, &fresh, 0.25);
+        assert!(!report.ok());
+        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
+        assert!(report.regressions[0].contains("fig3"));
+        assert!(report.regressions[1].contains("gone"));
+        // fig12 blew past +25% relatively but sits under the noise floor.
+        assert!(report.lines.iter().any(|l| l.contains("noise-floor")));
+        assert!(report.lines.iter().any(|l| l.contains("new section")));
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let committed = vec![("fig8".to_string(), 4.0)];
+        let fresh = vec![("fig8".to_string(), 4.8)];
+        assert!(compare_sections(&committed, &fresh, 0.25).ok());
+        let slower = vec![("fig8".to_string(), 5.2)];
+        assert!(!compare_sections(&committed, &slower, 0.25).ok());
     }
 
     #[test]

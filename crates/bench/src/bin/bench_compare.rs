@@ -1,0 +1,73 @@
+//! Compares a fresh `BENCH_baseline.json` against the committed one and
+//! fails when any section regressed beyond the tolerance.
+//!
+//! ```text
+//! cargo run -p ask-bench --bin bench_compare -- \
+//!     committed_baseline.json fresh_baseline.json [--tolerance 0.25]
+//! ```
+//!
+//! Sections below the noise floor (see `baseline::NOISE_FLOOR_S`) never
+//! fail the comparison: at microsecond scale the timer measures scheduler
+//! luck, not code.
+
+use ask_bench::baseline::{compare_sections, parse_sections};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => return usage("--tolerance needs a number"),
+            },
+            _ => files.push(a.clone()),
+        }
+    }
+    let [committed_path, fresh_path] = files.as_slice() else {
+        return usage("expected exactly two baseline files");
+    };
+
+    let committed = match load(committed_path) {
+        Ok(s) => s,
+        Err(e) => return usage(&e),
+    };
+    let fresh = match load(fresh_path) {
+        Ok(s) => s,
+        Err(e) => return usage(&e),
+    };
+
+    println!(
+        "bench_compare: {committed_path} vs {fresh_path} (tolerance ±{:.0}%)",
+        tolerance * 100.0
+    );
+    let report = compare_sections(&committed, &fresh, tolerance);
+    for line in &report.lines {
+        println!("  {line}");
+    }
+    if report.ok() {
+        println!("result: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for r in &report.regressions {
+            eprintln!("regression: {r}");
+        }
+        println!("result: FAIL ({} regression(s))", report.regressions.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_sections(&text).ok_or_else(|| format!("{path} has no baseline sections"))
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_compare <committed.json> <fresh.json> [--tolerance 0.25]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,108 @@
+//! Command-line driver for the conformance harness.
+//!
+//! ```text
+//! cargo run -p conformance -- sweep [--quick|--full] [--seed N]
+//! cargo run -p conformance -- repro --seed N --point i,j,k
+//! ```
+//!
+//! Exits non-zero when any invariant is violated, so CI can gate on it.
+
+use conformance::sweep::{point_seed, run_sweep};
+use conformance::SweepConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("repro") => cmd_repro(&args[1..]),
+        _ => {
+            eprintln!("usage: conformance sweep [--quick|--full] [--seed N]");
+            eprintln!("       conformance repro --seed N --point i,j,k");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let mut quick = true;
+    let mut seed = 1u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage_error("--seed needs an integer"),
+            },
+            other => return usage_error(&format!("unknown sweep flag {other}")),
+        }
+    }
+    let config = if quick {
+        SweepConfig::quick(seed)
+    } else {
+        SweepConfig::full(seed)
+    };
+    let report = run_sweep(config);
+    print!("{}", report.text);
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_repro(args: &[String]) -> ExitCode {
+    let mut seed: Option<u64> = None;
+    let mut point: Option<(usize, usize, usize)> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()),
+            "--point" => point = it.next().and_then(|s| parse_point(s)),
+            other => return usage_error(&format!("unknown repro flag {other}")),
+        }
+    }
+    let (Some(seed), Some(ix)) = (seed, point) else {
+        return usage_error("repro needs --seed N and --point i,j,k");
+    };
+    // Look the point up in whichever grid contains it: the quick grid is
+    // not a prefix of the full one, so try both, quick first.
+    let grid_point = SweepConfig::quick(seed)
+        .point(ix)
+        .or_else(|| SweepConfig::full(seed).point(ix));
+    let Some(grid_point) = grid_point else {
+        return usage_error(&format!("point {ix:?} is outside both grids"));
+    };
+    let scenario = grid_point.scenario(seed);
+    println!(
+        "repro: sweep seed {} point {:?} -> scenario seed {}",
+        seed,
+        ix,
+        point_seed(seed, ix),
+    );
+    println!("{scenario:#?}");
+    let report = scenario.run();
+    println!("{report:#?}");
+    if report.ok() {
+        println!("result: PASS (all invariants held)");
+        ExitCode::SUCCESS
+    } else {
+        println!("result: FAIL ({} violation(s))", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_point(s: &str) -> Option<(usize, usize, usize)> {
+    let mut parts = s.split(',').map(|p| p.trim().parse::<usize>());
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(Ok(i)), Some(Ok(j)), Some(Ok(k)), None) => Some((i, j, k)),
+        _ => None,
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

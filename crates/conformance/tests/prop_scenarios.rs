@@ -1,0 +1,91 @@
+//! Property-based scenario generation: random workload shapes, key skew,
+//! fault models, and lifecycle chaos, all funneled through the invariant
+//! checker. Every generated case must conform.
+
+use ask_wire::packet::AggregateOp;
+use conformance::{FaultSpec, Scenario};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = AggregateOp> {
+    prop_oneof![
+        Just(AggregateOp::Sum),
+        Just(AggregateOp::Max),
+        Just(AggregateOp::Min),
+    ]
+}
+
+proptest! {
+    // Each case is a full end-to-end simulation; keep the count modest so
+    // `cargo test` stays fast (raise with PROPTEST_CASES for deep soaks).
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Any random scenario — workload shape, Zipf skew, operator, fault
+    /// mix, co-located sender, mid-run restart — satisfies all four
+    /// invariants.
+    #[test]
+    fn random_scenarios_conform(
+        seed in any::<u64>(),
+        senders in 1usize..4,
+        colocated in any::<bool>(),
+        tuples in 50usize..250,
+        distinct in 8usize..128,
+        skew_permille in 400u64..1800,
+        long_ratio_ix in 0usize..3,
+        op in op_strategy(),
+        loss_permille in 0u64..200,
+        dup_permille in 0u64..250,
+        reorder_permille in 0u64..500,
+        window in 4usize..16,
+        swap_threshold in prop_oneof![Just(0u64), Just(8u64), Just(32u64)],
+        restart in any::<bool>(),
+    ) {
+        let scenario = Scenario {
+            seed,
+            fault_seed: None,
+            senders,
+            colocated_sender: colocated,
+            tuples_per_sender: tuples,
+            distinct_keys: distinct,
+            zipf_s: skew_permille as f64 / 1000.0,
+            long_key_ratio: [0.0, 1.0 / 16.0, 1.0 / 4.0][long_ratio_ix],
+            op,
+            faults: FaultSpec {
+                loss: loss_permille as f64 / 1000.0,
+                duplication: dup_permille as f64 / 1000.0,
+                reorder: reorder_permille as f64 / 1000.0,
+                reorder_jitter_us: 10,
+                corruption: 0.0,
+            },
+            window,
+            data_channels: 1,
+            swap_threshold,
+            region_aggregators: 32,
+            restart_mid_run: restart,
+        };
+        let report = scenario.run();
+        prop_assert!(
+            report.ok(),
+            "scenario {:?} violated invariants: {:?}",
+            scenario,
+            report.violations
+        );
+    }
+
+    /// The same scenario run twice produces the identical report — the
+    /// determinism that makes every failure reproducible from its seed.
+    #[test]
+    fn scenario_runs_are_deterministic(seed in any::<u64>()) {
+        let mut s = Scenario::base(seed);
+        s.faults = FaultSpec {
+            loss: 0.1,
+            duplication: 0.15,
+            reorder: 0.3,
+            reorder_jitter_us: 5,
+            corruption: 0.0,
+        };
+        s.tuples_per_sender = 120;
+        let a = s.run();
+        let b = s.run();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -49,7 +49,7 @@ pub mod table;
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::error::{AccessError, AllocError};
-    pub use crate::pipeline::{ArrayId, Pass, Pipeline, ResourceReport, StageUsage};
+    pub use crate::pipeline::{ArrayId, Pass, Pipeline, ResourceReport, StageUsage, Violation};
     pub use crate::spec::PipelineSpec;
     pub use crate::table::{TableError, TableId};
 }

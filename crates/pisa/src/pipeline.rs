@@ -55,6 +55,24 @@ struct Stage {
     sram_used: usize,
 }
 
+/// A recorded violation of the per-pass access model.
+///
+/// Violations are still returned as [`AccessError`]s to the caller, but the
+/// pipeline additionally journals them so a harness can assert after a run
+/// that *no* pass — on any code path — broke the hardware constraints,
+/// without every call site having to thread the errors outward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The pass (1-based, in execution order) that violated a constraint.
+    pub pass: u64,
+    /// What was violated.
+    pub error: AccessError,
+}
+
+/// Violations kept verbatim in the journal; beyond this only the count
+/// grows (a broken program can violate once per packet).
+const MAX_RECORDED_VIOLATIONS: usize = 64;
+
 /// A programmable packet-processing pipeline.
 ///
 /// # Examples
@@ -75,6 +93,8 @@ pub struct Pipeline {
     stages: Vec<Stage>,
     next_pass: u64,
     passes_executed: u64,
+    violations: Vec<Violation>,
+    violation_count: u64,
 }
 
 impl Pipeline {
@@ -92,6 +112,28 @@ impl Pipeline {
             stages,
             next_pass: 1,
             passes_executed: 0,
+            violations: Vec::new(),
+            violation_count: 0,
+        }
+    }
+
+    /// Total access-model violations since creation (every [`AccessError`]
+    /// any pass ever produced, whether or not the caller handled it).
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// The first recorded violations, in occurrence order (the journal keeps
+    /// at most a bounded prefix; [`Pipeline::violation_count`] keeps the
+    /// exact total).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn note_violation(&mut self, pass: u64, error: AccessError) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.violations.push(Violation { pass, error });
         }
     }
 
@@ -346,6 +388,16 @@ impl Pass<'_> {
         index: usize,
         f: impl FnOnce(&mut u64) -> T,
     ) -> Result<T, AccessError> {
+        self.try_access(array, index, f)
+            .inspect_err(|&e| self.pipeline.note_violation(self.pass_id, e))
+    }
+
+    fn try_access<T>(
+        &mut self,
+        array: ArrayId,
+        index: usize,
+        f: impl FnOnce(&mut u64) -> T,
+    ) -> Result<T, AccessError> {
         if array.stage < self.current_stage {
             return Err(AccessError::StageOrderViolation {
                 array_stage: array.stage,
@@ -416,6 +468,11 @@ impl Pass<'_> {
     ///
     /// Same conditions as [`Pass::access`].
     pub fn lookup(&mut self, table: TableId, key: u64) -> Result<Option<Vec<u64>>, AccessError> {
+        self.try_lookup(table, key)
+            .inspect_err(|&e| self.pipeline.note_violation(self.pass_id, e))
+    }
+
+    fn try_lookup(&mut self, table: TableId, key: u64) -> Result<Option<Vec<u64>>, AccessError> {
         if table.stage < self.current_stage {
             return Err(AccessError::StageOrderViolation {
                 array_stage: table.stage,
@@ -715,6 +772,43 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("stage"));
         assert!(!text.contains("\n15 |"), "idle stages omitted");
+    }
+
+    #[test]
+    fn violations_are_journaled() {
+        let mut p = pipe();
+        let a = p.alloc_array(0, 4, 32).unwrap();
+        assert_eq!(p.violation_count(), 0);
+        let mut pass = p.begin_pass();
+        pass.access(a, 0, |v| *v += 1).unwrap();
+        let _ = pass.access(a, 0, |v| *v += 1); // double access
+        let _ = pass.access(a, 99, |_| ()); // double access (recorded first)
+        drop(pass);
+        let _ = p.begin_pass().access(a, 99, |_| ()); // out of bounds
+        assert_eq!(p.violation_count(), 3);
+        assert_eq!(p.violations().len(), 3);
+        assert_eq!(
+            p.violations()[0],
+            Violation {
+                pass: 1,
+                error: AccessError::DoubleAccess { array: a }
+            }
+        );
+        assert_eq!(
+            p.violations()[2].error,
+            AccessError::IndexOutOfBounds { index: 99, len: 4 }
+        );
+    }
+
+    #[test]
+    fn violation_journal_is_bounded() {
+        let mut p = pipe();
+        let a = p.alloc_array(0, 4, 32).unwrap();
+        for _ in 0..(MAX_RECORDED_VIOLATIONS + 10) {
+            let _ = p.begin_pass().access(a, 1000, |_| ());
+        }
+        assert_eq!(p.violation_count() as usize, MAX_RECORDED_VIOLATIONS + 10);
+        assert_eq!(p.violations().len(), MAX_RECORDED_VIOLATIONS);
     }
 
     #[test]

@@ -144,6 +144,8 @@ pub mod prelude {
     pub use crate::faults::FaultModel;
     pub use crate::frame::{Frame, NodeId};
     pub use crate::link::{LinkConfig, LinkStats};
-    pub use crate::network::{Context, Network, NetworkBuilder, Node, SendError, StopReason};
+    pub use crate::network::{
+        Context, FrameTraceEntry, Network, NetworkBuilder, Node, SendError, StopReason, TraceFate,
+    };
     pub use crate::time::{SimDuration, SimTime};
 }
