@@ -3,6 +3,7 @@
 //! task lifecycle (setup → streaming → FIN → fetch → teardown).
 
 use crate::config::AskConfig;
+use crate::fasthash::FastMap;
 use crate::host::congestion::CongestionWindow;
 use crate::host::packetizer::Packetizer;
 use crate::host::receiver::ReceiverWindow;
@@ -75,7 +76,7 @@ struct ChannelState {
     busy_until: SimTime,
     pump_armed: bool,
     /// Unacked data/long-kv packets per task, gating the task's FIN.
-    outstanding: HashMap<TaskId, u64>,
+    outstanding: FastMap<TaskId, u64>,
     /// Optional AIMD congestion window (§7 discussion), capped at `W`.
     cc: Option<CongestionWindow>,
 }
@@ -129,7 +130,7 @@ struct RecvTask {
     /// `Some(true)` once a region is granted, `Some(false)` on deny
     /// (host-only fallback), `None` while the controller RPC is in flight.
     ina: Option<bool>,
-    residual: HashMap<Key, u32>,
+    residual: FastMap<Key, u32>,
     fins: HashSet<u32>,
     packets_since_swap: u64,
     fetch_seq: u32,
@@ -152,14 +153,14 @@ pub struct AskDaemon {
     packetizer: Packetizer,
     channels: Vec<ChannelState>,
     /// Sender side: task → receiver node learned from TaskAnnounce.
-    announced: HashMap<TaskId, u32>,
+    announced: FastMap<TaskId, u32>,
     /// Sender side: tuples waiting for a TaskAnnounce.
-    pending_sends: HashMap<TaskId, Vec<KvTuple>>,
+    pending_sends: FastMap<TaskId, Vec<KvTuple>>,
     /// Sender side: tasks whose FIN has been acknowledged.
-    send_done: HashMap<TaskId, SimTime>,
+    send_done: FastMap<TaskId, SimTime>,
     /// Receiver side.
-    recv_windows: HashMap<ChannelId, ReceiverWindow>,
-    recv_tasks: HashMap<TaskId, RecvTask>,
+    recv_windows: FastMap<ChannelId, ReceiverWindow>,
+    recv_tasks: FastMap<TaskId, RecvTask>,
     stats: HostStats,
     trace: TraceLog,
     cpu_busy: SimDuration,
@@ -179,11 +180,11 @@ impl AskDaemon {
             me: None,
             packetizer,
             channels: Vec::new(),
-            announced: HashMap::new(),
-            pending_sends: HashMap::new(),
-            send_done: HashMap::new(),
-            recv_windows: HashMap::new(),
-            recv_tasks: HashMap::new(),
+            announced: FastMap::default(),
+            pending_sends: FastMap::default(),
+            send_done: FastMap::default(),
+            recv_windows: FastMap::default(),
+            recv_tasks: FastMap::default(),
             trace,
             stats: HostStats::default(),
             cpu_busy: SimDuration::ZERO,
@@ -208,7 +209,7 @@ impl AskDaemon {
                 queue: VecDeque::new(),
                 busy_until: SimTime::ZERO,
                 pump_armed: false,
-                outstanding: HashMap::new(),
+                outstanding: FastMap::default(),
                 cc: self
                     .config
                     .congestion_control
@@ -255,7 +256,7 @@ impl AskDaemon {
                 senders: senders.iter().copied().collect(),
                 op,
                 ina: None,
-                residual: HashMap::new(),
+                residual: FastMap::default(),
                 fins: HashSet::new(),
                 packets_since_swap: 0,
                 fetch_seq: 0,
@@ -747,7 +748,7 @@ impl AskDaemon {
             debug_assert!(rt.result.is_none());
             rt.result = Some(TaskResult {
                 task,
-                entries: std::mem::take(&mut rt.residual),
+                entries: std::mem::take(&mut rt.residual).into_iter().collect(),
                 completed_at: now,
             });
             rt.ina == Some(true)

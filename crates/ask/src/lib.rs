@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fasthash;
 pub mod host;
 pub mod multirack;
 pub mod service;

@@ -87,6 +87,7 @@ struct TaskEntry {
     region: AaRegion,
     indicator_idx: usize,
     receiver: u32,
+    op: AggregateOp,
     /// Claims per shadow copy.
     claims: [Vec<Claim>; 2],
     /// Last served fetch sequence and its cached reply. The harvest is
@@ -94,6 +95,59 @@ struct TaskEntry {
     /// share one buffer instead of cloning the tuple vector.
     fetch_cache: Option<(u32, Arc<Vec<KvTuple>>)>,
     stats: SwitchTaskStats,
+}
+
+/// "No slot" sentinel in a [`DispatchEntry`]: the channel is pure-forwarded
+/// or the task is not registered.
+const SLOT_NONE: u32 = u32::MAX;
+
+/// "Region size is not a power of two" sentinel: fall back to modulo mixing.
+const MASK_MODULO: u64 = u64::MAX;
+
+/// One line of the direct-mapped per-channel dispatch cache: everything
+/// `process_data` needs that would otherwise cost a `HashMap` probe — the
+/// channel's reliability slot, the task's match-table action data (region,
+/// indicator, operator), and the task's dense slot for stats updates. The
+/// action data is latched here at fill time, which is sound because it is
+/// written only by the control plane (install/release), and both paths bump
+/// `dispatch_gen` to invalidate every line. The copy indicator is *not*
+/// cached: it changes per-pass on shadow swaps and stays a register access.
+#[derive(Debug, Clone, Copy)]
+struct DispatchEntry {
+    /// Stamp of the generation this line was filled in; any control-plane
+    /// change bumps the engine's generation and thereby invalidates it.
+    gen: u64,
+    channel: ChannelId,
+    task: TaskId,
+    /// Channel's dedup-state slot, or [`SLOT_NONE`] for pure forwarding.
+    ch_slot: u32,
+    /// Task's slot in the dense task store, or [`SLOT_NONE`] if unknown.
+    task_slot: u32,
+    region: AaRegion,
+    indicator_idx: u32,
+    op: AggregateOp,
+    /// `aggregators - 1` when the region size is a power of two (index
+    /// mixing becomes an AND), else [`MASK_MODULO`].
+    index_mask: u64,
+}
+
+impl DispatchEntry {
+    fn invalid() -> Self {
+        DispatchEntry {
+            gen: 0,
+            channel: ChannelId(u32::MAX),
+            task: TaskId(u32::MAX),
+            ch_slot: SLOT_NONE,
+            task_slot: SLOT_NONE,
+            region: AaRegion {
+                base: 0,
+                aggregators: 1,
+            },
+            indicator_idx: 0,
+            op: AggregateOp::Sum,
+            index_mask: MASK_MODULO,
+        }
+    }
 }
 
 /// The switch aggregation engine. Pure computation — no networking — so
@@ -112,10 +166,22 @@ pub struct AggregatorEngine {
     max_seq: ArrayId,
     seen: ArrayId,
     pkt_state: ArrayId,
-    tasks: HashMap<TaskId, TaskEntry>,
+    /// Dense task store indexed by indicator index — the indicator pool is
+    /// already a recycled `0..max_tasks` space, so it doubles as the slot
+    /// allocator. The data path reaches entries by slot; only control-plane
+    /// calls go through `task_index`.
+    task_slots: Vec<Option<TaskEntry>>,
+    /// Task id → slot in `task_slots`.
+    task_index: HashMap<TaskId, usize>,
     /// Counters of released tasks, kept for post-mortem inspection.
     finished_stats: HashMap<TaskId, SwitchTaskStats>,
     channel_slots: HashMap<ChannelId, usize>,
+    /// Direct-mapped dispatch cache, indexed by the channel id's low bits.
+    dispatch: Vec<DispatchEntry>,
+    dispatch_mask: usize,
+    /// Current dispatch generation; bumped on task install/release and on
+    /// `set_local_hosts`, which invalidates every cache line at once.
+    dispatch_gen: u64,
     free_indicators: Vec<usize>,
     /// Free `[base, len)` slices of the per-copy aggregator space.
     free_regions: Vec<(u32, u32)>,
@@ -170,9 +236,11 @@ impl AggregatorEngine {
             .alloc_array(1 + aa_stages, config.max_channels * config.window, 64)
             .expect("PktState fits final stage");
 
-        let free_indicators = (0..config.max_tasks).rev().collect();
+        let free_indicators: Vec<usize> = (0..config.max_tasks).rev().collect();
         let free_regions = vec![(0, config.aggregators_per_aa as u32)];
         let absorbed_seqs = config.absorption_audit.then(HashSet::new);
+        let dispatch_lines = config.max_channels.next_power_of_two().max(64);
+        let task_slots = (0..config.max_tasks).map(|_| None).collect();
         AggregatorEngine {
             config,
             pipeline,
@@ -182,9 +250,13 @@ impl AggregatorEngine {
             max_seq,
             seen,
             pkt_state,
-            tasks: HashMap::new(),
+            task_slots,
+            task_index: HashMap::new(),
             finished_stats: HashMap::new(),
             channel_slots: HashMap::new(),
+            dispatch: vec![DispatchEntry::invalid(); dispatch_lines],
+            dispatch_mask: dispatch_lines - 1,
+            dispatch_gen: 1,
             free_indicators,
             free_regions,
             local_hosts: None,
@@ -197,6 +269,21 @@ impl AggregatorEngine {
     /// own rack and cross-rack traffic bypasses it as plain forwarding.
     pub fn set_local_hosts(&mut self, hosts: impl IntoIterator<Item = u32>) {
         self.local_hosts = Some(hosts.into_iter().collect());
+        self.dispatch_gen += 1; // cached channel verdicts may have changed
+    }
+
+    /// Looks up a live task entry by id (control-plane path).
+    fn task_entry(&self, task: TaskId) -> Option<&TaskEntry> {
+        let &slot = self.task_index.get(&task)?;
+        self.task_slots[slot].as_ref()
+    }
+
+    /// Mutable task entry for the dispatch slot, if the task is registered.
+    fn slot_entry_mut(&mut self, task_slot: u32) -> Option<&mut TaskEntry> {
+        if task_slot == SLOT_NONE {
+            return None;
+        }
+        self.task_slots[task_slot as usize].as_mut()
     }
 
     /// The configuration the engine was built with.
@@ -206,15 +293,14 @@ impl AggregatorEngine {
 
     /// Per-task counters, surviving task release; `None` for unknown tasks.
     pub fn task_stats(&self, task: TaskId) -> Option<SwitchTaskStats> {
-        self.tasks
-            .get(&task)
+        self.task_entry(task)
             .map(|t| t.stats)
             .or_else(|| self.finished_stats.get(&task).copied())
     }
 
     /// The raw node index registered as `task`'s receiver.
     pub fn task_receiver(&self, task: TaskId) -> Option<u32> {
-        self.tasks.get(&task).map(|t| t.receiver)
+        self.task_entry(task).map(|t| t.receiver)
     }
 
     /// Registers a task with the paper's default SUM operator.
@@ -236,8 +322,8 @@ impl AggregatorEngine {
         if self.config.force_host_only {
             return None;
         }
-        if self.tasks.contains_key(&task) {
-            return self.tasks.get(&task).map(|t| t.region);
+        if let Some(entry) = self.task_entry(task) {
+            return Some(entry.region);
         }
         let want = self.config.region_aggregators as u32;
         let slot = self.free_regions.iter().position(|&(_, len)| len >= want)?;
@@ -266,17 +352,17 @@ impl AggregatorEngine {
                 ],
             )
             .expect("table capacity equals the indicator pool");
-        self.tasks.insert(
-            task,
-            TaskEntry {
-                region,
-                indicator_idx,
-                receiver,
-                claims: [Vec::new(), Vec::new()],
-                fetch_cache: None,
-                stats: SwitchTaskStats::default(),
-            },
-        );
+        self.task_slots[indicator_idx] = Some(TaskEntry {
+            region,
+            indicator_idx,
+            receiver,
+            op,
+            claims: [Vec::new(), Vec::new()],
+            fetch_cache: None,
+            stats: SwitchTaskStats::default(),
+        });
+        self.task_index.insert(task, indicator_idx);
+        self.dispatch_gen += 1; // "unknown task" cache lines are now wrong
         Some(region)
     }
 
@@ -284,9 +370,11 @@ impl AggregatorEngine {
     /// in the region are zeroed (the receiver is expected to have fetched
     /// them first).
     pub fn release_task(&mut self, task: TaskId) {
-        let Some(mut entry) = self.tasks.remove(&task) else {
+        let Some(slot) = self.task_index.remove(&task) else {
             return;
         };
+        let mut entry = self.task_slots[slot].take().expect("indexed task present");
+        self.dispatch_gen += 1; // drop every cached line naming this task
         self.pipeline.table_remove(self.task_table, task.0 as u64);
         for copy in 0..2 {
             let claims = std::mem::take(&mut entry.claims[copy]);
@@ -385,9 +473,11 @@ impl AggregatorEngine {
 
     /// Records a forwarded long-key bypass packet in the task's counters.
     pub fn note_longkv_forwarded(&mut self, task: TaskId, tuples: u64) {
-        if let Some(t) = self.tasks.get_mut(&task) {
-            t.stats.longkv_packets_forwarded += 1;
-            t.stats.tuples_long_forwarded += tuples;
+        if let Some(&slot) = self.task_index.get(&task) {
+            if let Some(t) = self.task_slots[slot].as_mut() {
+                t.stats.longkv_packets_forwarded += 1;
+                t.stats.tuples_long_forwarded += tuples;
+            }
         }
     }
 
@@ -401,45 +491,52 @@ impl AggregatorEngine {
     // that as a no-op.
     #[allow(clippy::drop_non_drop)]
     pub fn process_data(&mut self, mut pkt: DataPacket) -> DataVerdict {
-        let Some(ch_slot) = self.channel_slot(pkt.channel) else {
+        // Resolve channel and task through the direct-mapped dispatch cache:
+        // on a warm hit the whole control lookup is one array read and three
+        // compares, no hashing.
+        let line = pkt.channel.0 as usize & self.dispatch_mask;
+        let cached = self.dispatch[line];
+        let ent = if cached.gen == self.dispatch_gen
+            && cached.channel == pkt.channel
+            && cached.task == pkt.task
+        {
+            cached
+        } else {
+            let fresh = self.fill_dispatch(pkt.channel, pkt.task);
+            self.dispatch[line] = fresh;
+            fresh
+        };
+        if ent.ch_slot == SLOT_NONE {
             // No reliability state available: best-effort pure forwarding.
             return DataVerdict::Forward(pkt);
-        };
+        }
+        let ch_slot = ent.ch_slot as usize;
         let window = self.config.window;
 
         let mut pass = self.pipeline.begin_pass();
 
-        // Stage 0: resolve the task through the match-action table, then
-        // read its copy indicator (one access per table/array).
+        // Stage 0: the task's match-table action data (region, indicator,
+        // operator) was latched into the dispatch entry at install time —
+        // only the control plane writes it, and install/release invalidate
+        // the cache — so the pass starts at the copy indicator, which does
+        // change mid-task (shadow swaps) and stays a per-packet register
+        // access.
         //
         // Any register-access violation below is journaled by the pipeline
         // and degrades the pass to plain forwarding: the packet goes out
         // untouched, nothing has been absorbed yet, and the receiver's own
         // window dedups — the one unsafe act (absorbing twice) never
         // happens in degraded mode.
-        let action = match pass.lookup(self.task_table, pkt.task.0 as u64) {
-            Ok(a) => a,
-            Err(_) => {
-                drop(pass);
-                return DataVerdict::Forward(pkt);
+        let copy = if ent.task_slot != SLOT_NONE {
+            match pass.access(self.copy_indicator, ent.indicator_idx as usize, |v| *v) {
+                Ok(c) => c as usize,
+                Err(_) => {
+                    drop(pass);
+                    return DataVerdict::Forward(pkt);
+                }
             }
-        };
-        let (task_region, copy, op) = match action {
-            Some(words) => {
-                let region = AaRegion {
-                    base: words[0] as u32,
-                    aggregators: words[1] as u32,
-                };
-                let copy = match pass.access(self.copy_indicator, words[2] as usize, |v| *v) {
-                    Ok(c) => c as usize,
-                    Err(_) => {
-                        drop(pass);
-                        return DataVerdict::Forward(pkt);
-                    }
-                };
-                (Some(region), copy, AggregateOp::from_code(words[3] as u8))
-            }
-            None => (None, 0, AggregateOp::Sum),
+        } else {
+            0
         };
 
         let obs = match Self::observe_in_pass(
@@ -461,20 +558,21 @@ impl AggregatorEngine {
         match obs {
             Observation::Stale => {
                 drop(pass);
-                if let Some(t) = self.tasks.get_mut(&pkt.task) {
+                if let Some(t) = self.slot_entry_mut(ent.task_slot) {
                     t.stats.stale_dropped += 1;
                 }
                 DataVerdict::Stale
             }
             Observation::First => {
-                let (new_claims, aggregated, forwarded) = if let Some(region) = task_region {
+                let (new_claims, aggregated, forwarded) = if ent.task_slot != SLOT_NONE {
                     Self::aggregate_packet(
                         &mut pass,
                         &self.aas,
                         &self.config,
-                        region,
+                        ent.region,
                         copy,
-                        op,
+                        ent.op,
+                        ent.index_mask,
                         &mut pkt,
                     )
                 } else {
@@ -494,7 +592,7 @@ impl AggregatorEngine {
                     }
                     _ => 0,
                 };
-                if let Some(t) = self.tasks.get_mut(&pkt.task) {
+                if let Some(t) = self.slot_entry_mut(ent.task_slot) {
                     t.claims[copy].extend(new_claims);
                     t.stats.data_packets += 1;
                     t.stats.tuples_aggregated += aggregated;
@@ -521,7 +619,7 @@ impl AggregatorEngine {
                     Err(_) => u128::MAX,
                 };
                 drop(pass);
-                if let Some(t) = self.tasks.get_mut(&pkt.task) {
+                if let Some(t) = self.slot_entry_mut(ent.task_slot) {
                     t.stats.duplicates_detected += 1;
                 }
                 if stored == 0 {
@@ -538,6 +636,34 @@ impl AggregatorEngine {
         }
     }
 
+    /// Builds a dispatch line for `(channel, task)` the slow way — the
+    /// hash lookups the cache exists to amortize. Assigns the channel a
+    /// dedup slot if it does not have one yet.
+    fn fill_dispatch(&mut self, channel: ChannelId, task: TaskId) -> DispatchEntry {
+        let mut ent = DispatchEntry {
+            gen: self.dispatch_gen,
+            channel,
+            task,
+            ..DispatchEntry::invalid()
+        };
+        if let Some(slot) = self.channel_slot(channel) {
+            ent.ch_slot = slot as u32;
+        }
+        if let Some(&slot) = self.task_index.get(&task) {
+            let entry = self.task_slots[slot].as_ref().expect("indexed task present");
+            ent.task_slot = slot as u32;
+            ent.region = entry.region;
+            ent.indicator_idx = entry.indicator_idx as u32;
+            ent.op = entry.op;
+            ent.index_mask = if entry.region.aggregators.is_power_of_two() {
+                (entry.region.aggregators - 1) as u64
+            } else {
+                MASK_MODULO
+            };
+        }
+        ent
+    }
+
     /// Aggregates every occupied slot of `pkt` within one pass, blanking
     /// aggregated slots in place. Returns new claims plus the
     /// aggregated/forwarded tuple counts.
@@ -549,6 +675,7 @@ impl AggregatorEngine {
         region: AaRegion,
         copy: usize,
         op: AggregateOp,
+        index_mask: u64,
         pkt: &mut DataPacket,
     ) -> (Vec<Claim>, u64, u64) {
         let layout = &config.layout;
@@ -562,9 +689,16 @@ impl AggregatorEngine {
             let Some(tuple) = &pkt.slots[slot_ix] else {
                 continue;
             };
-            let idx = copy_off
-                + region.base as usize
-                + (index_hash(&tuple.key) % region.aggregators as u64) as usize;
+            // Power-of-two regions reduce the index mix to an AND with the
+            // precomputed mask; the modulo fallback yields the same index
+            // whenever both paths are defined.
+            let mix = index_hash(&tuple.key);
+            let spread = if index_mask == MASK_MODULO {
+                mix % region.aggregators as u64
+            } else {
+                mix & index_mask
+            };
+            let idx = copy_off + region.base as usize + spread as usize;
             let ok = if layout.is_short_slot(slot_ix) {
                 let aa = aas[slot_ix];
                 let seg = tuple.key.segment(0);
@@ -651,7 +785,10 @@ impl AggregatorEngine {
     /// Flips the task's copy indicator (Algorithm 1's `Switch()`); data
     /// packets processed after this pass aggregate into the other copy.
     pub fn swap(&mut self, task: TaskId) {
-        let Some(entry) = self.tasks.get_mut(&task) else {
+        let Some(&slot) = self.task_index.get(&task) else {
+            return;
+        };
+        let Some(entry) = self.task_slots[slot].as_mut() else {
             return;
         };
         entry.stats.swaps += 1;
@@ -664,7 +801,7 @@ impl AggregatorEngine {
 
     /// The task's currently active copy (0 or 1); `None` for unknown tasks.
     pub fn active_copy(&self, task: TaskId) -> Option<usize> {
-        let entry = self.tasks.get(&task)?;
+        let entry = self.task_entry(task)?;
         Some(
             self.pipeline
                 .control_read(self.copy_indicator, entry.indicator_idx) as usize,
@@ -676,9 +813,10 @@ impl AggregatorEngine {
     /// otherwise. Returns the entries to send back, shared with the fetch
     /// cache (replays are an `Arc` clone, not a tuple-vector copy).
     pub fn fetch(&mut self, task: TaskId, scope: FetchScope, fetch_seq: u32) -> Arc<Vec<KvTuple>> {
-        let Some(entry) = self.tasks.get(&task) else {
+        let Some(&slot) = self.task_index.get(&task) else {
             return Arc::new(Vec::new());
         };
+        let entry = self.task_slots[slot].as_ref().expect("indexed task present");
         if let Some((cached_seq, ref cached)) = entry.fetch_cache {
             if fetch_seq <= cached_seq {
                 return Arc::clone(cached);
@@ -694,14 +832,14 @@ impl AggregatorEngine {
         let mut harvest = Vec::new();
         for copy in copies {
             let claims = {
-                let entry = self.tasks.get_mut(&task).expect("present");
+                let entry = self.task_slots[slot].as_mut().expect("present");
                 std::mem::take(&mut entry.claims[copy])
             };
             self.harvest_claims(&claims, copy, &mut harvest);
             self.reset_claims(&claims, copy);
         }
         let harvest = Arc::new(harvest);
-        let entry = self.tasks.get_mut(&task).expect("present");
+        let entry = self.task_slots[slot].as_mut().expect("present");
         entry.stats.tuples_fetched += harvest.len() as u64;
         entry.fetch_cache = Some((fetch_seq, Arc::clone(&harvest)));
         harvest
@@ -779,8 +917,9 @@ impl AggregatorEngine {
     /// Total exactly-once violations seen by the absorption audit, across
     /// live and released tasks. Always 0 when the audit is disabled.
     pub fn duplicate_absorptions(&self) -> u64 {
-        self.tasks
-            .values()
+        self.task_slots
+            .iter()
+            .flatten()
             .map(|t| t.stats.duplicate_absorptions)
             .chain(self.finished_stats.values().map(|s| s.duplicate_absorptions))
             .sum()
@@ -1174,6 +1313,39 @@ mod tests {
         assert_eq!(e.constraint_violations(), 0);
         assert!(e.violations().is_empty());
         assert_eq!(e.duplicate_absorptions(), 0);
+    }
+
+    #[test]
+    fn dispatch_cache_invalidates_on_install_and_release() {
+        let mut e = engine();
+        // Warm the cache with an "unknown task" line.
+        match e.process_data(pkt(1, 0, 0, &[(0, "cat", 1)])) {
+            DataVerdict::Forward(p) => assert_eq!(p.occupied(), 1),
+            other => panic!("unknown task must forward, got {other:?}"),
+        }
+        // Installing the task must invalidate that line: the same
+        // (channel, task) pair now aggregates.
+        e.register_task(TaskId(1), 9).expect("region");
+        assert_eq!(
+            e.process_data(pkt(1, 0, 1, &[(0, "cat", 2)])),
+            DataVerdict::FullyAggregated
+        );
+        // Releasing must invalidate again: back to pure forwarding, even
+        // though the warm line still names the released task.
+        e.release_task(TaskId(1));
+        match e.process_data(pkt(1, 0, 2, &[(0, "cat", 3)])) {
+            DataVerdict::Forward(p) => assert_eq!(p.occupied(), 1),
+            other => panic!("released task must forward, got {other:?}"),
+        }
+        // A different task reusing the freed slot must not inherit stats or
+        // claims through a stale cache line.
+        e.register_task(TaskId(2), 9).expect("region");
+        assert_eq!(
+            e.process_data(pkt(2, 0, 3, &[(0, "dog", 4)])),
+            DataVerdict::FullyAggregated
+        );
+        assert_eq!(e.task_stats(TaskId(2)).unwrap().data_packets, 1);
+        assert_eq!(e.fetch(TaskId(2), FetchScope::All, 1).len(), 1);
     }
 
     #[test]

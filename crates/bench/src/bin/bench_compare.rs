@@ -3,20 +3,30 @@
 //!
 //! ```text
 //! cargo run -p ask-bench --bin bench_compare -- \
-//!     committed_baseline.json fresh_baseline.json [--tolerance 0.25]
+//!     committed_baseline.json fresh_baseline.json [--tolerance 0.25] [--update]
 //! ```
 //!
 //! Sections below the noise floor (see `baseline::NOISE_FLOOR_S`) never
-//! fail the comparison: at microsecond scale the timer measures scheduler
-//! luck, not code.
+//! fail the comparison, and sections marked `"excluded": true` in the
+//! committed file (fig12's microsecond analytical model, `micro_*`
+//! criterion sections) are informational only.
+//!
+//! `--update` rewrites the committed file from the fresh run after printing
+//! the comparison: fresh timings replace committed ones, while committed
+//! sections the fresh run does not produce (the `micro_*` entries) are
+//! carried over unchanged, and exclusion flags from the old committed file
+//! are preserved. With `--update` the exit code is always success — the
+//! point is to move the baseline, not to gate on it.
 
-use ask_bench::baseline::{compare_sections, parse_sections};
+use ask_bench::baseline::{compare_sections, parse_sections, Section};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 0.25f64;
+    let mut update = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -24,6 +34,7 @@ fn main() -> ExitCode {
                 Some(t) => tolerance = t,
                 None => return usage("--tolerance needs a number"),
             },
+            "--update" => update = true,
             _ => files.push(a.clone()),
         }
     }
@@ -31,11 +42,11 @@ fn main() -> ExitCode {
         return usage("expected exactly two baseline files");
     };
 
-    let committed = match load(committed_path) {
+    let (_committed_text, committed) = match load(committed_path) {
         Ok(s) => s,
         Err(e) => return usage(&e),
     };
-    let fresh = match load(fresh_path) {
+    let (fresh_text, fresh) = match load(fresh_path) {
         Ok(s) => s,
         Err(e) => return usage(&e),
     };
@@ -48,6 +59,17 @@ fn main() -> ExitCode {
     for line in &report.lines {
         println!("  {line}");
     }
+
+    if update {
+        let merged = merge_update(&fresh_text, &committed, &fresh);
+        if let Err(e) = std::fs::write(committed_path, merged) {
+            eprintln!("error: cannot write {committed_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("updated {committed_path} from {fresh_path}");
+        return ExitCode::SUCCESS;
+    }
+
     if report.ok() {
         println!("result: PASS");
         ExitCode::SUCCESS
@@ -60,14 +82,54 @@ fn main() -> ExitCode {
     }
 }
 
-fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// Builds the new committed document from the fresh run: the fresh
+/// header/sections verbatim (its `record` calls already mark the
+/// known-noise sections excluded), plus any committed-only sections —
+/// criterion-measured `micro_*` entries survive a figure-harness refresh.
+fn merge_update(fresh_text: &str, committed: &[Section], fresh: &[Section]) -> String {
+    let carried: Vec<&Section> = committed
+        .iter()
+        .filter(|c| !fresh.iter().any(|f| f.name == c.name))
+        .collect();
+    if carried.is_empty() {
+        return fresh_text.to_string();
+    }
+    // Splice the carried sections in front of the closing "  ]" of the
+    // sections array; the format is fixed by Baseline::render.
+    let Some(end) = fresh_text.rfind("\n  ]") else {
+        return fresh_text.to_string();
+    };
+    let mut out = fresh_text[..end].to_string();
+    for s in &carried {
+        let excluded = if s.excluded {
+            ", \"excluded\": true"
+        } else {
+            ""
+        };
+        // Nine decimals: carried sections are criterion-measured `micro_*`
+        // entries whose values are nanoseconds; `{:.6}` would zero them.
+        let _ = write!(
+            out,
+            ",\n    {{\"name\": \"{}\", \"seconds\": {:.9}{}}}",
+            s.name, s.seconds, excluded
+        );
+    }
+    out.push_str(&fresh_text[end..]);
+    out
+}
+
+fn load(path: &str) -> Result<(String, Vec<Section>), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_sections(&text).ok_or_else(|| format!("{path} has no baseline sections"))
+    let sections =
+        parse_sections(&text).ok_or_else(|| format!("{path} has no baseline sections"))?;
+    Ok((text, sections))
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!("usage: bench_compare <committed.json> <fresh.json> [--tolerance 0.25]");
+    eprintln!(
+        "usage: bench_compare <committed.json> <fresh.json> [--tolerance 0.25] [--update]"
+    );
     ExitCode::from(2)
 }

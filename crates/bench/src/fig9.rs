@@ -21,8 +21,18 @@ use rand::SeedableRng;
 
 const SLOTS: usize = 16;
 
-/// One measured configuration.
-fn measure(ranks: &[u64], total_aggregators: usize, prioritize: bool) -> f64 {
+/// Packetizes a rank stream once; the resulting payloads depend only on the
+/// ranks and the fixed 16-slot layout, so every engine configuration can
+/// replay the same stream instead of re-materializing keys per config.
+fn packetize_ranks(ranks: &[u64]) -> Vec<Vec<Option<KvTuple>>> {
+    let packetizer = Packetizer::new(PacketLayout::short_only(SLOTS), 64);
+    packetizer
+        .packetize(ranks.iter().map(|&r| KvTuple::new(Key::from_u64(r), 1)))
+        .data_payloads
+}
+
+/// One measured configuration, replaying pre-packetized payloads.
+fn measure(payloads: &[Vec<Option<KvTuple>>], total_aggregators: usize, prioritize: bool) -> f64 {
     let mut cfg = AskConfig::paper_default();
     cfg.layout = PacketLayout::short_only(SLOTS);
     cfg.aggregators_per_aa = (total_aggregators / SLOTS).max(1);
@@ -33,25 +43,18 @@ fn measure(ranks: &[u64], total_aggregators: usize, prioritize: bool) -> f64 {
     let task = TaskId(1);
     engine.register_task(task, 0).expect("region fits");
 
-    let packetizer = Packetizer::new(cfg.layout, 64);
-    let tuples: Vec<KvTuple> = ranks
-        .iter()
-        .map(|&r| KvTuple::new(Key::from_u64(r), 1))
-        .collect();
-    let stream = packetizer.packetize(tuples);
-
     // The paper's swap threshold is "tunable" (§3.4); period it so the run
     // sees plenty of eviction rounds regardless of workload size.
-    let total_packets = stream.data_payloads.len() as u64;
+    let total_packets = payloads.len() as u64;
     let swap_every = (total_packets / 128).clamp(16, 4096);
     let mut fetch_seq = 0u32;
     let mut seq = 0u64;
-    for payload in stream.data_payloads {
+    for payload in payloads {
         let pkt = DataPacket {
             task,
             channel: ChannelId(0),
             seq: SeqNo(seq),
-            slots: payload,
+            slots: payload.clone(),
         };
         seq += 1;
         match engine.process_data(pkt) {
@@ -78,15 +81,15 @@ pub fn run(scale: Scale) -> String {
     let streams = [
         (
             "Uniform",
-            zipf_stream(&mut rng, distinct, total, 0.0, StreamOrder::Shuffled),
+            packetize_ranks(&zipf_stream(&mut rng, distinct, total, 0.0, StreamOrder::Shuffled)),
         ),
         (
             "Zipf",
-            zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::HotFirst),
+            packetize_ranks(&zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::HotFirst)),
         ),
         (
             "Zipf-rev",
-            zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::ColdFirst),
+            packetize_ranks(&zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::ColdFirst)),
         ),
     ];
 
@@ -113,10 +116,10 @@ pub fn run(scale: Scale) -> String {
                 .flat_map(|prio| {
                     streams
                         .iter()
-                        .map(move |(_, ranks)| (prio, ranks))
+                        .map(move |(_, payloads)| (prio, payloads))
                         .collect::<Vec<_>>()
                 })
-                .map(|(prio, ranks)| scope.spawn(move || measure(ranks, aggs, prio)))
+                .map(|(prio, payloads)| scope.spawn(move || measure(payloads, aggs, prio)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("measure")).collect()
         });
@@ -134,16 +137,16 @@ pub fn run(scale: Scale) -> String {
 mod tests {
     use super::*;
 
-    fn streams(distinct: usize, total: u64) -> [(StreamOrder, Vec<u64>); 2] {
+    fn streams(distinct: usize, total: u64) -> [(StreamOrder, Vec<Vec<Option<KvTuple>>>); 2] {
         let mut rng = StdRng::seed_from_u64(1);
         [
             (
                 StreamOrder::HotFirst,
-                zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::HotFirst),
+                packetize_ranks(&zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::HotFirst)),
             ),
             (
                 StreamOrder::ColdFirst,
-                zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::ColdFirst),
+                packetize_ranks(&zipf_stream(&mut rng, distinct, total, 1.0, StreamOrder::ColdFirst)),
             ),
         ]
     }
@@ -172,7 +175,7 @@ mod tests {
         // overwhelming majority of tuples.
         let distinct = 1 << 10;
         let mut rng = StdRng::seed_from_u64(2);
-        let ranks = zipf_stream(&mut rng, distinct, 1 << 15, 1.3, StreamOrder::Shuffled);
+        let ranks = packetize_ranks(&zipf_stream(&mut rng, distinct, 1 << 15, 1.3, StreamOrder::Shuffled));
         let with = measure(&ranks, distinct / 16, true);
         let without = measure(&ranks, distinct / 16, false);
         assert!(with > 0.70, "got {with}");
@@ -196,7 +199,7 @@ mod tests {
     fn ample_memory_aggregates_everything() {
         let distinct = 1 << 8;
         let mut rng = StdRng::seed_from_u64(3);
-        let ranks = zipf_stream(&mut rng, distinct, 1 << 12, 0.0, StreamOrder::Shuffled);
+        let ranks = packetize_ranks(&zipf_stream(&mut rng, distinct, 1 << 12, 0.0, StreamOrder::Shuffled));
         // 16x more aggregators than keys: hash collisions are rare.
         let ratio = measure(&ranks, distinct * 16, false);
         assert!(ratio > 0.95, "got {ratio}");

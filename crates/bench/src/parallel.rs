@@ -52,13 +52,21 @@ pub fn figure_jobs() -> Vec<Job> {
     ]
 }
 
-/// Number of worker threads for `jobs` pending jobs: one per available
-/// core, but never more workers than jobs.
+/// Number of worker threads for `jobs` pending jobs: `ASK_BENCH_WORKERS`
+/// if set (so CI and baseline refreshes can pin an exact worker count for
+/// apples-to-apples wall times), otherwise one per available core — but
+/// never more workers than jobs, and never zero.
 pub fn worker_count(jobs: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.max(1))
+    let cores = std::env::var("ASK_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    cores.min(jobs.max(1))
 }
 
 /// Runs every job across [`worker_count`] scoped threads and returns the
@@ -108,6 +116,18 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(64) >= 1);
+    }
+
+    #[test]
+    fn env_override_pins_worker_count() {
+        // The override is still capped by the job count; the sibling tests'
+        // assertions hold under any positive override, so this is safe to
+        // run concurrently with them.
+        std::env::set_var("ASK_BENCH_WORKERS", "2");
+        assert_eq!(worker_count(8), 2);
+        assert_eq!(worker_count(1), 1);
+        std::env::remove_var("ASK_BENCH_WORKERS");
+        assert!(worker_count(8) >= 1);
     }
 
     #[test]

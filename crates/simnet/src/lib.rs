@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bench_api;
 pub mod cpu;
 mod event;
 pub mod faults;

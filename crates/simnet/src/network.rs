@@ -79,11 +79,39 @@ impl FrameTrace {
     }
 }
 
+/// Sentinel in a [`NodeLinks`] map: no directed link to that destination.
+const LINK_NONE: u32 = u32::MAX;
+
+/// Dense outgoing-link table for one node: `map[dst - base]` is the index of
+/// the `src -> dst` link in the flat link array, or [`LINK_NONE`]. Offsetting
+/// by the smallest connected destination keeps the table tight for the
+/// common topologies (hosts linked only to a switch, switches linked to a
+/// contiguous run of hosts).
+#[derive(Debug, Default)]
+struct NodeLinks {
+    base: usize,
+    map: Vec<u32>,
+}
+
+impl NodeLinks {
+    fn get(&self, dst: usize) -> Option<usize> {
+        match self.map.get(dst.wrapping_sub(self.base)) {
+            Some(&ix) if ix != LINK_NONE => Some(ix as usize),
+            _ => None,
+        }
+    }
+}
+
 /// Engine state shared by all nodes (everything except the nodes themselves,
 /// so a node can be borrowed mutably while the engine is driven).
 #[derive(Debug)]
 struct Engine {
-    links: HashMap<(NodeId, NodeId), LinkState>,
+    /// All directed links, indexed by the per-node adjacency tables.
+    links: Vec<LinkState>,
+    /// Per-source dense adjacency, indexed by `NodeId::index()`. Built once
+    /// at [`NetworkBuilder::build`]; two array reads replace the old
+    /// `HashMap<(NodeId, NodeId)>` probe on every send.
+    adjacency: Vec<NodeLinks>,
     queue: EventQueue,
     now: SimTime,
     rng: StdRng,
@@ -112,10 +140,12 @@ impl Engine {
                 });
             }
         };
-        let link = self
-            .links
-            .get_mut(&(from, to))
+        let link_ix = self
+            .adjacency
+            .get(from.index())
+            .and_then(|n| n.get(to.index()))
             .ok_or(SendError { from, to })?;
+        let link = &mut self.links[link_ix];
         let (arrival, ecn) = match link.schedule(now, frame.wire_bytes()) {
             ScheduleOutcome::Enqueued { arrival, ecn } => (arrival, ecn),
             ScheduleOutcome::TailDropped => {
@@ -341,12 +371,37 @@ impl NetworkBuilder {
         assert!(prev.is_none(), "{a} -> {b} already connected");
     }
 
-    /// Finalizes the topology.
+    /// Finalizes the topology, compiling the builder's link map into the
+    /// flat link array plus per-node adjacency tables the engine runs on.
+    /// Link indices are assigned in `(src, dst)` order, independent of
+    /// insertion order, so identically shaped topologies get identical
+    /// tables.
     pub fn build(self) -> Network {
+        let mut pairs: Vec<((usize, usize), LinkState)> = self
+            .links
+            .into_iter()
+            .map(|((a, b), state)| ((a.index(), b.index()), state))
+            .collect();
+        pairs.sort_unstable_by_key(|(key, _)| *key);
+        let mut adjacency: Vec<NodeLinks> =
+            (0..self.nodes.len()).map(|_| NodeLinks::default()).collect();
+        let mut links = Vec::with_capacity(pairs.len());
+        for ((src, dst), state) in pairs {
+            let ix = links.len() as u32;
+            links.push(state);
+            let entry = &mut adjacency[src];
+            if entry.map.is_empty() {
+                entry.base = dst;
+            }
+            let off = dst - entry.base; // dsts arrive sorted per src
+            entry.map.resize(off + 1, LINK_NONE);
+            entry.map[off] = ix;
+        }
         Network {
             nodes: self.nodes,
             engine: Engine {
-                links: self.links,
+                links,
+                adjacency,
                 queue: EventQueue::new(),
                 now: SimTime::ZERO,
                 rng: StdRng::seed_from_u64(self.seed),
@@ -438,11 +493,13 @@ impl Network {
     ///
     /// Panics if the link does not exist.
     pub fn link_stats(&self, a: NodeId, b: NodeId) -> LinkStats {
-        self.engine
-            .links
-            .get(&(a, b))
-            .unwrap_or_else(|| panic!("no link from {a} to {b}"))
-            .stats
+        let ix = self
+            .engine
+            .adjacency
+            .get(a.index())
+            .and_then(|n| n.get(b.index()))
+            .unwrap_or_else(|| panic!("no link from {a} to {b}"));
+        self.engine.links[ix].stats
     }
 
     /// Borrows a node downcast to its concrete type.
@@ -565,6 +622,7 @@ impl Network {
     pub fn run_to_idle(&mut self) {
         let reason = self.run(None, None);
         debug_assert_eq!(reason, StopReason::Idle);
+        debug_assert!(self.engine.queue.is_empty(), "idle with pending events");
     }
 }
 
@@ -765,6 +823,52 @@ mod tests {
         let c = b.add_node(pinger(None, 0));
         b.connect(a, c, LinkConfig::new(1e9, SimDuration::ZERO));
         b.connect(a, c, LinkConfig::new(1e9, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn adjacency_handles_gaps_and_insertion_order() {
+        // Destinations with a hole (0->1 and 0->4, nothing to 2 or 3),
+        // inserted in scrambled order: the dense tables must resolve every
+        // real link and reject the gap.
+        struct Fanout {
+            targets: Vec<NodeId>,
+            gap_result: Option<Result<(), SendError>>,
+        }
+        impl Node for Fanout {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                if self.targets.is_empty() {
+                    return; // pure sink
+                }
+                for &t in &self.targets {
+                    ctx.send(t, Frame::new(Bytes::from_static(b"x")))
+                        .expect("linked");
+                }
+                self.gap_result = Some(ctx.send(NodeId::from_index(2), Frame::new(Bytes::new())));
+            }
+            fn on_frame(&mut self, _: NodeId, _: Frame, _: &mut Context<'_>) {}
+        }
+        let mut b = NetworkBuilder::new(0);
+        // Ids are assigned sequentially: hub=0, sinks=1..=4.
+        let hub = b.add_node(Fanout {
+            targets: vec![NodeId::from_index(4), NodeId::from_index(1)],
+            gap_result: None,
+        });
+        let sinks: Vec<NodeId> = (0..4)
+            .map(|_| {
+                b.add_node(Fanout {
+                    targets: vec![],
+                    gap_result: None,
+                })
+            })
+            .collect();
+        // Connect 0->4 before 0->1 to scramble insertion order.
+        b.connect_directed(hub, sinks[3], LinkConfig::new(8e9, SimDuration::ZERO));
+        b.connect_directed(hub, sinks[0], LinkConfig::new(8e9, SimDuration::ZERO));
+        let mut net = b.build();
+        net.run_to_idle();
+        assert!(net.node::<Fanout>(hub).gap_result.expect("ran").is_err());
+        assert_eq!(net.link_stats(hub, sinks[0]).frames_sent, 1);
+        assert_eq!(net.link_stats(hub, sinks[3]).frames_sent, 1);
     }
 
     #[test]

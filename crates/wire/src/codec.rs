@@ -328,12 +328,20 @@ fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
                     layout.medium_max_key_len()
                 };
                 need(buf, width + 4)?;
-                // Borrow the key bytes from the input buffer (an O(1) slice
-                // of the shared backing storage) instead of copying them
-                // into a fresh per-slot allocation.
-                let raw = buf.copy_to_bytes(width);
+                // Scan the padded segment through the plain byte view first,
+                // then borrow the key bytes from the input buffer with a
+                // single O(1) slice of the shared backing storage — no
+                // per-slot allocation and only one refcount touch.
+                let raw = &buf[..width];
                 let key_len = raw.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
-                let key = Key::new(raw.slice(0..key_len))?;
+                if key_len == 0 {
+                    return Err(KeyError::Empty.into());
+                }
+                if raw[..key_len].contains(&0) {
+                    return Err(KeyError::ContainsNul.into());
+                }
+                let key = Key::from_validated_slice(&raw[..key_len]);
+                buf.advance(width);
                 let value = buf.get_u32();
                 slots.push(Some(KvTuple::new(key, value)));
             }
@@ -478,17 +486,60 @@ impl Envelope {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, bitwise) over a byte slice — the
-/// envelope's integrity check, standing in for the Ethernet FCS the
-/// simulator's framing-overhead constant already accounts for.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xffff_ffff;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
+/// Lookup tables for slice-by-8 CRC-32: `CRC32_TABLES[0]` is the classic
+/// byte-at-a-time table for the reflected IEEE 802.3 polynomial; table `t`
+/// advances a byte through `t` additional zero bytes, letting eight input
+/// bytes fold into the CRC per step.
+const CRC32_TABLES: [[u32; 256]; 8] = build_crc32_tables();
+
+const fn build_crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            bit += 1;
         }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) over a byte slice — the envelope's
+/// integrity check, standing in for the Ethernet FCS the simulator's
+/// framing-overhead constant already accounts for. Slice-by-8 table
+/// lookup; identical values to the bitwise definition.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = CRC32_TABLES[7][(lo & 0xff) as usize]
+            ^ CRC32_TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ CRC32_TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ CRC32_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32_TABLES[3][(hi & 0xff) as usize]
+            ^ CRC32_TABLES[2][((hi >> 8) & 0xff) as usize]
+            ^ CRC32_TABLES[1][((hi >> 16) & 0xff) as usize]
+            ^ CRC32_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ b as u32) & 0xff) as usize];
     }
     !crc
 }

@@ -24,8 +24,57 @@ pub const KPART_BYTES: usize = 4;
 /// assert_eq!(k.len(), 5);
 /// # Ok::<(), ask_wire::key::KeyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Key(Bytes);
+///
+/// # Representation
+///
+/// Keys up to [`INLINE_KEY_CAP`] bytes are stored inline — no heap
+/// allocation, no reference counting — which covers every short and medium
+/// key the switch can handle (§3.2.3) and makes the per-tuple hot paths
+/// (decode, packetize, residual merge) allocation- and atomic-free. Longer
+/// keys fall back to shared [`Bytes`] storage.
+#[derive(Clone)]
+pub struct Key(Repr);
+
+/// Keys at most this long are stored inline in the [`Key`] value itself.
+pub const INLINE_KEY_CAP: usize = 23;
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u8; INLINE_KEY_CAP] },
+    Heap(Bytes),
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Key {}
+
+impl core::hash::Hash for Key {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.as_bytes().cmp(other.as_bytes())
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:?})", self.as_bytes())
+    }
+}
 
 /// Error building a [`Key`] from raw bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +97,22 @@ impl fmt::Display for KeyError {
 impl std::error::Error for KeyError {}
 
 impl Key {
+    /// Stores already-validated bytes, choosing the inline representation
+    /// when they fit.
+    fn store(bytes: &[u8]) -> Self {
+        debug_assert!(!bytes.is_empty() && !bytes.contains(&0));
+        if bytes.len() <= INLINE_KEY_CAP {
+            let mut buf = [0u8; INLINE_KEY_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Key(Repr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            })
+        } else {
+            Key(Repr::Heap(Bytes::copy_from_slice(bytes)))
+        }
+    }
+
     /// Validates and wraps raw key bytes.
     ///
     /// # Errors
@@ -60,7 +125,18 @@ impl Key {
         if bytes.contains(&0) {
             return Err(KeyError::ContainsNul);
         }
-        Ok(Key(bytes))
+        if bytes.len() <= INLINE_KEY_CAP {
+            Ok(Key::store(&bytes))
+        } else {
+            Ok(Key(Repr::Heap(bytes)))
+        }
+    }
+
+    /// Wraps bytes the caller has already validated (non-empty, no NUL).
+    /// Crate-private: used by the codec's hot decode path, which checks the
+    /// invariants itself while scanning off the zero padding.
+    pub(crate) fn from_validated_slice(bytes: &[u8]) -> Self {
+        Key::store(bytes)
     }
 
     /// Builds a key from a string slice.
@@ -70,32 +146,50 @@ impl Key {
     /// Same conditions as [`Key::new`].
     #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Result<Self, KeyError> {
-        Key::new(Bytes::copy_from_slice(s.as_bytes()))
+        let b = s.as_bytes();
+        if b.is_empty() {
+            return Err(KeyError::Empty);
+        }
+        if b.contains(&0) {
+            return Err(KeyError::ContainsNul);
+        }
+        Ok(Key::store(b))
     }
 
     /// Builds a 4-byte key from an integer (useful for synthetic workloads
     /// where keys are opaque ids). The encoding avoids NUL bytes by mapping
-    /// each base-255 digit to `1..=255`.
+    /// each base-255 digit to `1..=255`. Always inline, never allocates.
     pub fn from_u64(mut v: u64) -> Self {
-        let mut out = Vec::with_capacity(8);
+        let mut buf = [0u8; INLINE_KEY_CAP];
+        let mut len = 0usize;
         loop {
-            out.push((v % 255) as u8 + 1);
+            buf[len] = (v % 255) as u8 + 1;
+            len += 1;
             v /= 255;
             if v == 0 {
                 break;
             }
         }
-        Key(Bytes::from(out))
+        Key(Repr::Inline {
+            len: len as u8,
+            buf,
+        })
     }
 
     /// The raw key bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(b) => b,
+        }
     }
 
     /// Byte length of the key.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(b) => b.len(),
+        }
     }
 
     /// Always false — keys are validated non-empty — but provided for
@@ -109,7 +203,7 @@ impl Key {
     /// (≤ 4 bytes), medium keys fit `m` coalesced `kPart`s, long keys bypass
     /// the switch.
     pub fn class(&self, medium_segments: usize) -> KeyClass {
-        let len = self.0.len();
+        let len = self.len();
         if len <= KPART_BYTES {
             KeyClass::Short
         } else if len <= KPART_BYTES * medium_segments {
@@ -123,18 +217,19 @@ impl Key {
     /// value stored in a `kPart` register. Segment 0 of a short key is the
     /// whole key.
     pub fn segment(&self, i: usize) -> u32 {
+        let bytes = self.as_bytes();
         let mut word = [0u8; KPART_BYTES];
         let start = i * KPART_BYTES;
-        if start < self.0.len() {
-            let end = (start + KPART_BYTES).min(self.0.len());
-            word[..end - start].copy_from_slice(&self.0[start..end]);
+        if start < bytes.len() {
+            let end = (start + KPART_BYTES).min(bytes.len());
+            word[..end - start].copy_from_slice(&bytes[start..end]);
         }
         u32::from_be_bytes(word)
     }
 
     /// Number of `kPart` segments the key occupies.
     pub fn segments(&self) -> usize {
-        self.0.len().div_ceil(KPART_BYTES)
+        self.len().div_ceil(KPART_BYTES)
     }
 
     /// Reconstructs a key from packed segments (inverse of [`Key::segment`]),
@@ -152,14 +247,20 @@ impl Key {
         while out.last() == Some(&0) {
             out.pop();
         }
-        Key::new(Bytes::from(out))
+        if out.is_empty() {
+            return Err(KeyError::Empty);
+        }
+        if out.contains(&0) {
+            return Err(KeyError::ContainsNul);
+        }
+        Ok(Key::store(&out))
     }
 
     /// A stable 64-bit hash of the key (FNV-1a), used for subspace
     /// partitioning and aggregator indexing. Deterministic across runs so
     /// simulations are reproducible.
     pub fn hash64(&self) -> u64 {
-        fnv1a(&self.0)
+        fnv1a(self.as_bytes())
     }
 
     /// Inverse of [`Key::from_u64`]: decodes the integer a key encodes, or
@@ -176,13 +277,14 @@ impl Key {
     pub fn to_u64(&self) -> Option<u64> {
         let mut value: u64 = 0;
         let mut mul: u64 = 1;
-        for (i, &b) in self.0.iter().enumerate() {
+        let bytes = self.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
             if b == 0 {
                 return None;
             }
             let digit = (b - 1) as u64;
             value = value.checked_add(digit.checked_mul(mul)?)?;
-            if i + 1 < self.0.len() {
+            if i + 1 < bytes.len() {
                 mul = mul.checked_mul(255)?;
             }
         }
@@ -192,16 +294,16 @@ impl Key {
 
 impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match core::str::from_utf8(&self.0) {
+        match core::str::from_utf8(self.as_bytes()) {
             Ok(s) => write!(f, "{s:?}"),
-            Err(_) => write!(f, "{:02x?}", &self.0[..]),
+            Err(_) => write!(f, "{:02x?}", self.as_bytes()),
         }
     }
 }
 
 impl AsRef<[u8]> for Key {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_bytes()
     }
 }
 
