@@ -9,12 +9,13 @@ use crate::host::packetizer::Packetizer;
 use crate::host::receiver::ReceiverWindow;
 use crate::host::trace::{TraceEvent, TraceLog};
 use crate::host::window::SenderWindow;
-use crate::stats::HostStats;
+use crate::stats::{burst_bucket, HostStats};
 use crate::switch::aggregator::Observation;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
 use ask_simnet::time::{SimDuration, SimTime};
-use ask_wire::codec::{decode_envelope, encode_envelope_parts};
+use ask_wire::codec::{decode_envelope_pooled, encode_envelope_parts};
+use ask_wire::pool::PacketPool;
 use ask_wire::constants::PACKET_OVERHEAD;
 use ask_wire::key::Key;
 use ask_wire::packet::{
@@ -166,6 +167,9 @@ pub struct AskDaemon {
     cpu_busy: SimDuration,
     /// Tuples received for tasks this daemon never registered (misrouted).
     orphan_tuples: u64,
+    /// Recycled packet bodies: decode and packetize draw from here; ACKed
+    /// window entries and merged receive payloads flow back.
+    pool: PacketPool,
 }
 
 impl AskDaemon {
@@ -189,6 +193,7 @@ impl AskDaemon {
             stats: HostStats::default(),
             cpu_busy: SimDuration::ZERO,
             orphan_tuples: 0,
+            pool: PacketPool::new(),
         }
     }
 
@@ -298,9 +303,18 @@ impl AskDaemon {
         self.send_done.get(&task).copied()
     }
 
-    /// Aggregate daemon counters.
+    /// Aggregate daemon counters (pool hit/miss counters are folded in from
+    /// the live packet pool).
     pub fn stats(&self) -> HostStats {
-        self.stats
+        let mut s = self.stats;
+        s.pool_hits = self.pool.hits();
+        s.pool_misses = self.pool.misses();
+        s
+    }
+
+    /// The daemon's packet-memory pool.
+    pub fn pool(&self) -> &PacketPool {
+        &self.pool
     }
 
     /// Total CPU time consumed by packet IO and host-side aggregation.
@@ -432,7 +446,7 @@ impl AskDaemon {
             self.check_completion(task, ctx);
             return;
         }
-        let stream = self.packetizer.packetize(tuples);
+        let stream = self.packetizer.packetize_pooled(tuples, &mut self.pool);
         let ch_ix = (task.0 as usize) % self.channels.len();
         {
             let ch = &mut self.channels[ch_ix];
@@ -557,16 +571,27 @@ impl AskDaemon {
                 cc.on_ecn();
             }
         }
-        match &inflight.packet {
-            AskPacket::Data { .. } | AskPacket::LongKv { .. } => {
+        // The ACK retires the window entry, so its packet body is dead
+        // memory — recycle the backing vectors into the pool.
+        match inflight.packet {
+            AskPacket::Data(pkt) => {
                 if let Some(task) = inflight.task {
                     let ch = &mut self.channels[ch_ix];
                     let left = ch.outstanding.entry(task).or_insert(1);
                     *left = left.saturating_sub(1);
                 }
+                self.pool.recycle_slots(pkt.slots);
+            }
+            AskPacket::LongKv { entries, .. } => {
+                if let Some(task) = inflight.task {
+                    let ch = &mut self.channels[ch_ix];
+                    let left = ch.outstanding.entry(task).or_insert(1);
+                    *left = left.saturating_sub(1);
+                }
+                self.pool.recycle_tuples(entries);
             }
             AskPacket::Fin { task, .. } => {
-                self.send_done.insert(*task, ctx.now());
+                self.send_done.insert(task, ctx.now());
             }
             _ => {}
         }
@@ -934,16 +959,18 @@ impl Node for AskDaemon {
     fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
         self.ensure_init(ctx);
         let ecn = frame.ecn_marked();
-        let Ok(envelope) = decode_envelope(frame.into_payload()) else {
+        let Ok(envelope) = decode_envelope_pooled(frame.into_payload(), &mut self.pool) else {
             return;
         };
         let src = envelope.src;
         match envelope.packet {
             AskPacket::Ack { channel, seq, ece } => self.on_ack(channel, seq, ece, ctx),
-            AskPacket::Data(pkt) => {
+            AskPacket::Data(mut pkt) => {
                 self.cpu_busy += self.config.cpu_per_packet;
                 match self.observe(pkt.channel, pkt.seq) {
-                    Observation::Stale => {}
+                    Observation::Stale => {
+                        self.pool.recycle_slots(pkt.slots);
+                    }
                     Observation::Duplicate => {
                         self.stats.duplicates_dropped += 1;
                         self.trace.record(
@@ -954,6 +981,7 @@ impl Node for AskDaemon {
                             },
                         );
                         self.reply_ack(src, pkt.channel, pkt.seq, ecn, ctx);
+                        self.pool.recycle_slots(pkt.slots);
                     }
                     Observation::First => {
                         self.stats.packets_received += 1;
@@ -965,8 +993,9 @@ impl Node for AskDaemon {
                             },
                         );
                         let task = pkt.task;
-                        let tuples: Vec<KvTuple> = pkt.slots.into_iter().flatten().collect();
-                        self.merge_residual(task, tuples);
+                        let mut slots = std::mem::take(&mut pkt.slots);
+                        self.merge_residual(task, slots.drain(..).flatten());
+                        self.pool.recycle_slots(slots);
                         self.reply_ack(src, pkt.channel, pkt.seq, ecn, ctx);
                         if let Some(rt) = self.recv_tasks.get_mut(&task) {
                             rt.packets_since_swap += 1;
@@ -979,18 +1008,22 @@ impl Node for AskDaemon {
                 task,
                 channel,
                 seq,
-                entries,
+                mut entries,
             } => {
                 self.cpu_busy += self.config.cpu_per_packet;
                 match self.observe(channel, seq) {
-                    Observation::Stale => {}
+                    Observation::Stale => {
+                        self.pool.recycle_tuples(entries);
+                    }
                     Observation::Duplicate => {
                         self.stats.duplicates_dropped += 1;
                         self.reply_ack(src, channel, seq, ecn, ctx);
+                        self.pool.recycle_tuples(entries);
                     }
                     Observation::First => {
                         self.stats.packets_received += 1;
-                        self.merge_residual(task, entries);
+                        self.merge_residual(task, entries.drain(..));
+                        self.pool.recycle_tuples(entries);
                         self.reply_ack(src, channel, seq, ecn, ctx);
                     }
                 }
@@ -1032,6 +1065,13 @@ impl Node for AskDaemon {
             | AskPacket::Control(
                 ControlMsg::RegionRequest { .. } | ControlMsg::RegionRelease { .. },
             ) => {}
+        }
+    }
+
+    fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        self.stats.burst_len[burst_bucket(burst.len() as u64)] += 1;
+        for (from, frame) in burst.drain(..) {
+            self.on_frame(from, frame, ctx);
         }
     }
 

@@ -11,6 +11,7 @@
 
 use ask_wire::key::KeyClass;
 use ask_wire::packet::{KvTuple, PacketLayout};
+use ask_wire::pool::PacketPool;
 use std::collections::VecDeque;
 
 /// Output of packetizing one task's key-value stream.
@@ -111,6 +112,23 @@ impl Packetizer {
     where
         I: IntoIterator<Item = KvTuple>,
     {
+        self.packetize_inner(tuples, None)
+    }
+
+    /// [`Packetizer::packetize`] drawing payload vectors from `pool` instead
+    /// of allocating, so a steady-state sender recycles the same backing
+    /// stores across packetize → encode → ACK cycles.
+    pub fn packetize_pooled<I>(&self, tuples: I, pool: &mut PacketPool) -> PacketizedStream
+    where
+        I: IntoIterator<Item = KvTuple>,
+    {
+        self.packetize_inner(tuples, Some(pool))
+    }
+
+    fn packetize_inner<I>(&self, tuples: I, mut pool: Option<&mut PacketPool>) -> PacketizedStream
+    where
+        I: IntoIterator<Item = KvTuple>,
+    {
         let slots = self.layout.slot_count();
         let mut queues: Vec<VecDeque<KvTuple>> = vec![VecDeque::new(); slots];
         let mut long_queue: Vec<KvTuple> = Vec::new();
@@ -123,11 +141,20 @@ impl Packetizer {
 
         let mut out = PacketizedStream::default();
         while queues.iter().any(|q| !q.is_empty()) {
-            let payload: Vec<Option<KvTuple>> = queues.iter_mut().map(|q| q.pop_front()).collect();
+            let mut payload = match pool.as_deref_mut() {
+                Some(p) => p.take_slots(slots),
+                None => Vec::with_capacity(slots),
+            };
+            payload.extend(queues.iter_mut().map(|q| q.pop_front()));
             out.data_payloads.push(payload);
         }
         for chunk in long_queue.chunks(self.long_kv_batch) {
-            out.long_batches.push(chunk.to_vec());
+            let mut batch = match pool.as_deref_mut() {
+                Some(p) => p.take_tuples(chunk.len()),
+                None => Vec::with_capacity(chunk.len()),
+            };
+            batch.extend_from_slice(chunk);
+            out.long_batches.push(batch);
         }
         out
     }
@@ -223,5 +250,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_batch_rejected() {
         let _ = Packetizer::new(PacketLayout::paper_default(), 0);
+    }
+
+    #[test]
+    fn pooled_packetize_matches_plain_and_reuses_memory() {
+        let p = packetizer();
+        let tuples = || {
+            vec![
+                kv("cat", 1),
+                kv("cat", 2),
+                kv("dog", 3),
+                kv("maples", 4),
+                kv("waytoolongkey", 5),
+            ]
+        };
+        let plain = p.packetize(tuples());
+        let mut pool = PacketPool::new();
+        let pooled = p.packetize_pooled(tuples(), &mut pool);
+        assert_eq!(plain.data_payloads, pooled.data_payloads);
+        assert_eq!(plain.long_batches, pooled.long_batches);
+
+        // Recycle and repacketize: every payload now comes from the pool.
+        for v in pooled.data_payloads {
+            pool.recycle_slots(v);
+        }
+        for v in pooled.long_batches {
+            pool.recycle_tuples(v);
+        }
+        let before_hits = pool.hits();
+        let again = p.packetize_pooled(tuples(), &mut pool);
+        assert_eq!(plain.data_payloads, again.data_payloads);
+        assert!(pool.hits() > before_hits, "second round should hit the pool");
     }
 }

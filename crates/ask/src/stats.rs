@@ -5,6 +5,18 @@
 //! (Table 1), retransmissions, fetch volume — is derived from these
 //! counters, so the benchmark harness never has to instrument internals.
 
+/// Number of log₂ buckets in a burst-length histogram: bucket `i` counts
+/// bursts of `2^i ..= 2^(i+1) - 1` frames (the last bucket is open-ended).
+pub const BURST_BUCKETS: usize = 8;
+
+/// The histogram bucket a burst of `n` frames falls into.
+pub fn burst_bucket(n: u64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    (63 - n.leading_zeros() as usize).min(BURST_BUCKETS - 1)
+}
+
 /// Counters kept by the switch data plane, per task.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchTaskStats {
@@ -34,6 +46,11 @@ pub struct SwitchTaskStats {
     /// caught by the absorption audit
     /// ([`crate::config::AskConfig::absorption_audit`]). Must stay 0.
     pub duplicate_absorptions: u64,
+    /// Histogram of same-channel ingest burst lengths seen by
+    /// `process_batch` (log₂ buckets, see [`burst_bucket`]). Purely
+    /// observational: batch and sequential ingest differ here while every
+    /// protocol counter above stays identical.
+    pub burst_len: [u64; BURST_BUCKETS],
 }
 
 impl SwitchTaskStats {
@@ -73,6 +90,9 @@ impl SwitchTaskStats {
         self.swaps += other.swaps;
         self.tuples_fetched += other.tuples_fetched;
         self.duplicate_absorptions += other.duplicate_absorptions;
+        for (a, b) in self.burst_len.iter_mut().zip(other.burst_len.iter()) {
+            *a += b;
+        }
     }
 }
 
@@ -100,6 +120,13 @@ pub struct HostStats {
     pub bytes_sent: u64,
     /// Nominal payload (goodput) bytes sent.
     pub goodput_bytes_sent: u64,
+    /// Packet-pool takes served from the free list (no allocation).
+    pub pool_hits: u64,
+    /// Packet-pool takes that had to allocate.
+    pub pool_misses: u64,
+    /// Histogram of delivery burst lengths handed to the daemon by the
+    /// simulator's burst drain (log₂ buckets, see [`burst_bucket`]).
+    pub burst_len: [u64; BURST_BUCKETS],
 }
 
 impl HostStats {
@@ -115,12 +142,57 @@ impl HostStats {
         self.tuples_fetched += other.tuples_fetched;
         self.bytes_sent += other.bytes_sent;
         self.goodput_bytes_sent += other.goodput_bytes_sent;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        for (a, b) in self.burst_len.iter_mut().zip(other.burst_len.iter()) {
+            *a += b;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn burst_buckets_are_log2() {
+        assert_eq!(burst_bucket(0), 0);
+        assert_eq!(burst_bucket(1), 0);
+        assert_eq!(burst_bucket(2), 1);
+        assert_eq!(burst_bucket(3), 1);
+        assert_eq!(burst_bucket(4), 2);
+        assert_eq!(burst_bucket(127), 6);
+        assert_eq!(burst_bucket(128), 7);
+        assert_eq!(burst_bucket(1 << 30), BURST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_sums_histograms_and_pool_counters() {
+        let mut a = SwitchTaskStats::default();
+        a.burst_len[0] = 1;
+        let mut b = SwitchTaskStats::default();
+        b.burst_len[0] = 2;
+        b.burst_len[3] = 5;
+        a.merge(&b);
+        assert_eq!(a.burst_len[0], 3);
+        assert_eq!(a.burst_len[3], 5);
+
+        let mut h = HostStats {
+            pool_hits: 10,
+            pool_misses: 1,
+            ..Default::default()
+        };
+        h.burst_len[1] = 4;
+        let mut h2 = HostStats {
+            pool_hits: 5,
+            ..Default::default()
+        };
+        h2.burst_len[1] = 6;
+        h.merge(&h2);
+        assert_eq!(h.pool_hits, 15);
+        assert_eq!(h.pool_misses, 1);
+        assert_eq!(h.burst_len[1], 10);
+    }
 
     #[test]
     fn ratios_handle_zero_totals() {

@@ -8,9 +8,24 @@ use crate::config::AskConfig;
 use crate::stats::SwitchTaskStats;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
-use ask_wire::codec::{decode_envelope, encode_envelope, Envelope};
-use ask_wire::packet::{AskPacket, ControlMsg, TaskId};
+use ask_wire::codec::{decode_envelope_pooled, encode_envelope, Envelope};
+use ask_wire::packet::{AskPacket, ChannelId, ControlMsg, DataPacket, SeqNo, TaskId};
 use bytes::Bytes;
+
+/// Everything needed to emit the response for one data packet's verdict
+/// after the engine pass: the addressing, the original payload bytes (for
+/// the relay-unchanged fast path) and the pre-aggregation occupancy.
+#[derive(Debug)]
+struct DataMeta {
+    src: u32,
+    dst: u32,
+    channel: ChannelId,
+    seq: SeqNo,
+    ecn: bool,
+    wire: usize,
+    occupied_before: usize,
+    payload: Bytes,
+}
 
 /// The top-of-rack ASK switch as a simulated network node.
 ///
@@ -29,6 +44,10 @@ pub struct AskSwitch {
     unroutable: u64,
     /// Frames that failed to decode.
     undecodable: u64,
+    /// Scratch buffers for burst ingest, reused across deliveries.
+    batch_pkts: Vec<DataPacket>,
+    batch_meta: Vec<DataMeta>,
+    batch_verdicts: Vec<DataVerdict>,
 }
 
 impl AskSwitch {
@@ -39,6 +58,9 @@ impl AskSwitch {
             routes: std::collections::HashMap::new(),
             unroutable: 0,
             undecodable: 0,
+            batch_pkts: Vec::new(),
+            batch_meta: Vec::new(),
+            batch_verdicts: Vec::new(),
         }
     }
 
@@ -111,60 +133,98 @@ impl AskSwitch {
         let me = ctx.me().index() as u32;
         self.forward_ecn(&Envelope::new(me, dst, packet), false, ctx);
     }
-}
 
-impl Node for AskSwitch {
-    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
-        let ecn = frame.ecn_marked();
-        let wire = frame.wire_bytes();
-        // Keep the raw payload around: packets the switch relays unmodified
-        // are re-sent from these very bytes instead of being re-encoded.
-        let payload = frame.into_payload();
-        let envelope = match decode_envelope(payload.clone()) {
-            Ok(e) => e,
-            Err(_) => {
-                self.undecodable += 1;
-                return;
+    /// Emits the response for one data packet's verdict: nothing for stale,
+    /// an ACK to the sender for fully aggregated, a forward for residuals —
+    /// recycling the consumed slot vector on the forward paths.
+    fn emit_data_verdict(&mut self, verdict: DataVerdict, m: DataMeta, ctx: &mut Context<'_>) {
+        match verdict {
+            DataVerdict::Stale => {}
+            DataVerdict::FullyAggregated => {
+                // The switch is the consuming endpoint: echo congestion
+                // marks back to the sender on the ACK.
+                let ack = AskPacket::Ack {
+                    channel: m.channel,
+                    seq: m.seq,
+                    ece: m.ecn,
+                };
+                self.reply(m.src, ack, ctx);
             }
-        };
-        let Envelope { src, dst, packet } = envelope;
+            DataVerdict::Forward(residual) => {
+                let slots = if residual.occupied() == m.occupied_before {
+                    // Nothing was aggregated out: the packet is
+                    // byte-identical to what arrived, so relay the
+                    // original frame payload without re-encoding.
+                    self.forward_raw(m.dst, m.payload, m.wire, m.ecn, ctx);
+                    residual.slots
+                } else {
+                    let fwd = Envelope::new(m.src, m.dst, AskPacket::Data(residual));
+                    self.forward_ecn(&fwd, m.ecn, ctx);
+                    match fwd.packet {
+                        AskPacket::Data(d) => d.slots,
+                        _ => unreachable!("constructed as Data just above"),
+                    }
+                };
+                self.engine.pool_mut().recycle_slots(slots);
+            }
+        }
+    }
+
+    /// Runs the accumulated data-packet batch through the engine and emits
+    /// each verdict's response in input order.
+    fn flush_data_batch(
+        &mut self,
+        pkts: &mut Vec<DataPacket>,
+        meta: &mut Vec<DataMeta>,
+        ctx: &mut Context<'_>,
+    ) {
+        if pkts.is_empty() {
+            return;
+        }
+        let mut verdicts = std::mem::take(&mut self.batch_verdicts);
+        verdicts.clear();
+        self.engine.process_batch(pkts.drain(..), &mut verdicts);
+        for (verdict, m) in verdicts.drain(..).zip(meta.drain(..)) {
+            self.emit_data_verdict(verdict, m, ctx);
+        }
+        self.batch_verdicts = verdicts;
+    }
+
+    /// Handles every packet kind other than data (shared between the
+    /// one-frame and burst entry points).
+    #[allow(clippy::too_many_arguments)] // the decoded frame's full identity
+    fn handle_nondata(
+        &mut self,
+        src: u32,
+        dst: u32,
+        packet: AskPacket,
+        payload: Bytes,
+        ecn: bool,
+        wire: usize,
+        ctx: &mut Context<'_>,
+    ) {
         match packet {
-            AskPacket::Data(pkt) => {
-                let (channel, seq) = (pkt.channel, pkt.seq);
-                let occupied_before = pkt.occupied();
-                match self.engine.process_data(pkt) {
-                    DataVerdict::Stale => {}
-                    DataVerdict::FullyAggregated => {
-                        // The switch is the consuming endpoint: echo congestion
-                        // marks back to the sender on the ACK.
-                        let ack = AskPacket::Ack { channel, seq, ece: ecn };
-                        self.reply(src, ack, ctx);
-                    }
-                    DataVerdict::Forward(residual) => {
-                        if residual.occupied() == occupied_before {
-                            // Nothing was aggregated out: the packet is
-                            // byte-identical to what arrived, so relay the
-                            // original frame payload without re-encoding.
-                            self.forward_raw(dst, payload, wire, ecn, ctx);
-                        } else {
-                            let fwd = Envelope::new(src, dst, AskPacket::Data(residual));
-                            self.forward_ecn(&fwd, ecn, ctx);
-                        }
-                    }
-                }
-            }
-            AskPacket::LongKv { channel, seq, ref task, ref entries, .. } => {
+            AskPacket::Data(_) => unreachable!("data packets take the batch path"),
+            AskPacket::LongKv {
+                channel,
+                seq,
+                task,
+                entries,
+                ..
+            } => {
                 // Bypass traffic: keep the receive window dense, drop only
                 // provably-acknowledged (stale) packets, forward the rest —
                 // the receiver is the deduplicating endpoint.
                 match self.engine.observe_bypass(channel, seq) {
                     Observation::Stale => {}
                     Observation::First | Observation::Duplicate => {
-                        self.engine
-                            .note_longkv_forwarded(*task, entries.len() as u64);
+                        self.engine.note_longkv_forwarded(task, entries.len() as u64);
                         self.forward_raw(dst, payload, wire, ecn, ctx);
                     }
                 }
+                // The relay reuses the raw payload bytes; the decoded
+                // entries only served the dedup gate and the counters.
+                self.engine.pool_mut().recycle_tuples(entries);
             }
             AskPacket::Fin { channel, seq, .. } => {
                 match self.engine.observe_bypass(channel, seq) {
@@ -212,5 +272,87 @@ impl Node for AskSwitch {
                 }
             },
         }
+    }
+}
+
+impl Node for AskSwitch {
+    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        let ecn = frame.ecn_marked();
+        let wire = frame.wire_bytes();
+        // Keep the raw payload around: packets the switch relays unmodified
+        // are re-sent from these very bytes instead of being re-encoded.
+        let payload = frame.into_payload();
+        let envelope = match decode_envelope_pooled(payload.clone(), self.engine.pool_mut()) {
+            Ok(e) => e,
+            Err(_) => {
+                self.undecodable += 1;
+                return;
+            }
+        };
+        let Envelope { src, dst, packet } = envelope;
+        match packet {
+            AskPacket::Data(pkt) => {
+                let m = DataMeta {
+                    src,
+                    dst,
+                    channel: pkt.channel,
+                    seq: pkt.seq,
+                    ecn,
+                    wire,
+                    occupied_before: pkt.occupied(),
+                    payload,
+                };
+                let verdict = self.engine.process_data(pkt);
+                self.emit_data_verdict(verdict, m, ctx);
+            }
+            other => self.handle_nondata(src, dst, other, payload, ecn, wire, ctx),
+        }
+    }
+
+    /// Burst ingest: consecutive data packets in a delivery burst are run
+    /// through [`AggregatorEngine::process_batch`] as one group (keeping the
+    /// dispatch cache hot across the run), with every reply and forward
+    /// emitted in input order — byte-identical traffic to one-at-a-time
+    /// processing. Non-data packets flush the pending group first, so
+    /// cross-kind ordering is preserved exactly.
+    fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        let mut pkts = std::mem::take(&mut self.batch_pkts);
+        let mut meta = std::mem::take(&mut self.batch_meta);
+        debug_assert!(pkts.is_empty() && meta.is_empty());
+        for (_, frame) in burst.drain(..) {
+            let ecn = frame.ecn_marked();
+            let wire = frame.wire_bytes();
+            let payload = frame.into_payload();
+            let envelope = match decode_envelope_pooled(payload.clone(), self.engine.pool_mut()) {
+                Ok(e) => e,
+                Err(_) => {
+                    self.undecodable += 1;
+                    continue;
+                }
+            };
+            let Envelope { src, dst, packet } = envelope;
+            match packet {
+                AskPacket::Data(pkt) => {
+                    meta.push(DataMeta {
+                        src,
+                        dst,
+                        channel: pkt.channel,
+                        seq: pkt.seq,
+                        ecn,
+                        wire,
+                        occupied_before: pkt.occupied(),
+                        payload,
+                    });
+                    pkts.push(pkt);
+                }
+                other => {
+                    self.flush_data_batch(&mut pkts, &mut meta, ctx);
+                    self.handle_nondata(src, dst, other, payload, ecn, wire, ctx);
+                }
+            }
+        }
+        self.flush_data_batch(&mut pkts, &mut meta, ctx);
+        self.batch_pkts = pkts;
+        self.batch_meta = meta;
     }
 }

@@ -182,6 +182,46 @@ fn main() {
     );
     println!("  total tuples in         {total}");
 
+    // Batching & memory-reuse footer (observational counters; not part of
+    // any golden-pinned figure body).
+    let mut host_hits = report.receiver.pool_hits;
+    let mut host_misses = report.receiver.pool_misses;
+    let mut host_bursts = report.receiver.burst_len;
+    for s in &report.senders {
+        host_hits += s.pool_hits;
+        host_misses += s.pool_misses;
+        for (a, b) in host_bursts.iter_mut().zip(s.burst_len.iter()) {
+            *a += b;
+        }
+    }
+    let rate = |h: u64, m: u64| {
+        if h + m == 0 {
+            "-".to_string()
+        } else {
+            pct(h as f64 / (h + m) as f64)
+        }
+    };
+    println!(
+        "  packet pool             switch {}/{} ({}), hosts {}/{} ({}) hits/misses (rate)",
+        report.switch_pool_hits,
+        report.switch_pool_misses,
+        rate(report.switch_pool_hits, report.switch_pool_misses),
+        host_hits,
+        host_misses,
+        rate(host_hits, host_misses),
+    );
+    let hist = |h: &[u64]| {
+        h.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!(
+        "  ingest bursts (log2)    switch [{}], hosts [{}]",
+        hist(&report.switch.burst_len),
+        hist(&host_bursts),
+    );
+
     let mut baseline = Baseline::new(Scale::from_env(), 1);
     baseline.record("simulate_wall", wall);
     baseline.record(

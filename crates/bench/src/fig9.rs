@@ -50,15 +50,23 @@ fn measure(payloads: &[Vec<Option<KvTuple>>], total_aggregators: usize, prioriti
     let mut fetch_seq = 0u32;
     let mut seq = 0u64;
     for payload in payloads {
+        // Pooled replay: each packet's slot vector is drawn from the
+        // engine's pool and flows back after the verdict, so the whole
+        // sweep recycles a handful of allocations.
+        let mut slots = engine.pool_mut().take_slots(payload.len());
+        slots.extend(payload.iter().cloned());
         let pkt = DataPacket {
             task,
             channel: ChannelId(0),
             seq: SeqNo(seq),
-            slots: payload.clone(),
+            slots,
         };
         seq += 1;
         match engine.process_data(pkt) {
-            DataVerdict::FullyAggregated | DataVerdict::Forward(_) => {}
+            DataVerdict::FullyAggregated => {}
+            DataVerdict::Forward(residual) => {
+                engine.pool_mut().recycle_slots(residual.slots);
+            }
             DataVerdict::Stale => unreachable!("dense in-order feed"),
         }
         if prioritize && seq.is_multiple_of(swap_every) {

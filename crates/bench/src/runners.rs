@@ -97,6 +97,10 @@ pub struct AskReport {
     pub receiver_cpu_s: f64,
     /// Per-sender CPU busy time (s).
     pub sender_cpu_s: Vec<f64>,
+    /// Switch-side packet-pool takes served from the free list.
+    pub switch_pool_hits: u64,
+    /// Switch-side packet-pool takes that allocated.
+    pub switch_pool_misses: u64,
 }
 
 impl AskReport {
@@ -178,12 +182,15 @@ pub fn run_ask(run: &AskRun, streams: Vec<Vec<KvTuple>>) -> AskReport {
         sender_wire.push(uplink.bytes_sent as f64 * 8.0 / done);
         sender_cpu.push(service.host_cpu_busy(h).as_secs_f64());
     }
+    let switch_pool = service.switch_ref().engine().pool();
     AskReport {
         jct_s,
         sender_elapsed_s: sender_elapsed,
         sender_goodput_bps: sender_goodput,
         sender_wire_bps: sender_wire,
         switch,
+        switch_pool_hits: switch_pool.hits(),
+        switch_pool_misses: switch_pool.misses(),
         receiver: service.host_stats(receiver),
         senders: senders_stats,
         receiver_cpu_s: service.host_cpu_busy(receiver).as_secs_f64(),

@@ -219,13 +219,16 @@ impl EventQueue {
         self.current_tick = tick;
     }
 
-    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent> {
-        if let Some(ev) = self.current.pop_front() {
-            self.len -= 1;
-            return Some(ev);
-        }
-        if self.len == 0 {
-            return None;
+    /// Ensures the sorted drain buffer holds the earliest pending bucket.
+    /// A no-op when the buffer already has events or the queue is empty.
+    ///
+    /// Loading a bucket early (without popping) is semantically transparent:
+    /// a same-tick push that arrives while the buffer is loaded is placed by
+    /// `(at, seq)` binary search, which is exactly where the bucket sort
+    /// would have put it.
+    fn fill_current(&mut self) {
+        if !self.current.is_empty() || self.len == 0 {
+            return;
         }
         if self.wheel_len == 0 {
             // Only far-future events left: jump the window to the earliest.
@@ -239,9 +242,36 @@ impl EventQueue {
             self.migrate_overflow();
         }
         self.load_bucket(tick);
-        let ev = self.current.pop_front().expect("bucket was occupied");
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.fill_current();
+        let ev = self.current.pop_front()?;
         self.len -= 1;
         Some(ev)
+    }
+
+    /// Pops the next event only if it is a [`EventKind::Deliver`] addressed
+    /// to `to` at exactly instant `at` — the burst-extension probe used by
+    /// [`Network::run`](crate::network::Network::run) to drain same-instant
+    /// deliveries to one node as a single dispatch.
+    ///
+    /// Safety of the burst rests on two facts: (a) only *consecutive* events
+    /// with the same `(at)` and destination are taken, so global `(at, seq)`
+    /// FIFO order is untouched; (b) no node code runs between the probe and
+    /// the pop, so no push can land between burst members.
+    pub(crate) fn pop_deliver_if(&mut self, at: SimTime, to: NodeId) -> Option<ScheduledEvent> {
+        self.fill_current();
+        match self.current.front() {
+            Some(ev) if ev.at == at => match ev.kind {
+                EventKind::Deliver { to: t, .. } if t == to => {
+                    self.len -= 1;
+                    self.current.pop_front()
+                }
+                _ => None,
+            },
+            _ => None,
+        }
     }
 
     pub(crate) fn len(&self) -> usize {

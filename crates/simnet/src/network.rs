@@ -23,6 +23,21 @@ pub trait Node: Any {
     /// Called when a frame addressed to this node arrives.
     fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>);
 
+    /// Called with a burst of frames that all arrived at this node at the
+    /// same simulated instant, in delivery (FIFO) order.
+    ///
+    /// The default implementation simply replays them one by one through
+    /// [`Node::on_frame`]; nodes with a cheaper batch path (e.g. the ASK
+    /// switch's channel-grouped ingest) override it. Implementations must
+    /// consume every frame in `burst` and must process them in order —
+    /// observable side effects (sends, timers, RNG draws) have to match the
+    /// one-at-a-time equivalent exactly.
+    fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        for (from, frame) in burst.drain(..) {
+            self.on_frame(from, frame, ctx);
+        }
+    }
+
     /// Called when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {}
 }
@@ -410,6 +425,7 @@ impl NetworkBuilder {
                 trace: None,
             },
             started: false,
+            burst_buf: Vec::new(),
         }
     }
 }
@@ -419,6 +435,9 @@ pub struct Network {
     nodes: Vec<Option<Box<dyn Node>>>,
     engine: Engine,
     started: bool,
+    /// Reusable delivery buffer for same-instant bursts; kept across
+    /// [`Network::run`] calls so steady-state dispatch allocates nothing.
+    burst_buf: Vec<(NodeId, Frame)>,
 }
 
 impl std::fmt::Debug for Network {
@@ -572,37 +591,67 @@ impl Network {
 
     /// Runs until the queue drains, `until` passes, or `max_events` fire —
     /// whichever comes first. Pass `None` for no horizon / no budget.
+    ///
+    /// Consecutive deliveries to one node at one instant are drained as a
+    /// single burst and handed to [`Node::on_frames`] in FIFO order — one
+    /// dispatch instead of N — with each frame still counted individually
+    /// against `max_events` and [`Network::events_processed`]. Because only
+    /// *adjacent* same-instant events join a burst and no node code runs
+    /// while it is being collected, the observable event order is identical
+    /// to one-at-a-time delivery.
     pub fn run(&mut self, until: Option<SimTime>, max_events: Option<u64>) -> StopReason {
         self.start_if_needed();
         let budget_start = self.engine.events_processed;
-        loop {
+        let mut burst = std::mem::take(&mut self.burst_buf);
+        let reason = loop {
             if let Some(budget) = max_events {
                 if self.engine.events_processed - budget_start >= budget {
-                    return StopReason::EventBudget;
+                    break StopReason::EventBudget;
                 }
             }
             let Some(event) = self.engine.queue.pop() else {
-                return StopReason::Idle;
+                break StopReason::Idle;
             };
             if let Some(deadline) = until {
                 if event.at > deadline {
                     // Re-queue and stop: the event stays pending.
                     self.engine.queue.push(event.at, event.kind);
                     self.engine.now = deadline;
-                    return StopReason::Deadline;
+                    break StopReason::Deadline;
                 }
             }
             debug_assert!(event.at >= self.engine.now, "time went backwards");
-            self.engine.now = event.at;
+            let at = event.at;
+            self.engine.now = at;
             self.engine.events_processed += 1;
             match event.kind {
                 EventKind::Deliver { from, to, frame } => {
+                    burst.clear();
+                    burst.push((from, frame));
+                    // Extend the burst with adjacent same-instant deliveries
+                    // to the same node. Same `at` means the deadline check
+                    // above already covers them; the budget is re-checked
+                    // per frame so `EventBudget` fires at the same count as
+                    // the one-at-a-time loop.
+                    while max_events
+                        .is_none_or(|b| self.engine.events_processed - budget_start < b)
+                    {
+                        let Some(next) = self.engine.queue.pop_deliver_if(at, to) else {
+                            break;
+                        };
+                        let EventKind::Deliver { from, frame, .. } = next.kind else {
+                            unreachable!("pop_deliver_if only returns deliveries");
+                        };
+                        burst.push((from, frame));
+                        self.engine.events_processed += 1;
+                    }
                     let mut node = self.nodes[to.index()].take().expect("node present");
                     let mut ctx = Context {
                         engine: &mut self.engine,
                         me: to,
                     };
-                    node.on_frame(from, frame, &mut ctx);
+                    node.on_frames(&mut burst, &mut ctx);
+                    burst.clear();
                     self.nodes[to.index()] = Some(node);
                 }
                 EventKind::Timer { node: id, token } => {
@@ -615,7 +664,9 @@ impl Network {
                     self.nodes[id.index()] = Some(node);
                 }
             }
-        }
+        };
+        self.burst_buf = burst;
+        reason
     }
 
     /// Runs until the event queue is empty.
@@ -917,6 +968,75 @@ mod tests {
         assert!(net
             .frame_trace()
             .all(|e| matches!(e.fate, TraceFate::Dropped | TraceFate::Delivered { .. })));
+    }
+
+    #[test]
+    fn burst_delivery_matches_sequential_trace_and_event_count() {
+        // A star of senders whose frames land on the hub at the same instant
+        // (equal links, simultaneous sends) so `run` coalesces them into
+        // bursts. A hub overriding `on_frames` must leave every observable —
+        // frame trace (send times, fates, fault-RNG draws), event count,
+        // echo count — identical to one using the default one-at-a-time
+        // path.
+        struct SeqHub; // default on_frames
+        impl Node for SeqHub {
+            fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+                ctx.send(from, frame).expect("linked");
+            }
+        }
+        struct BatchHub {
+            bursts: Vec<usize>,
+        }
+        impl Node for BatchHub {
+            fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+                ctx.send(from, frame).expect("linked");
+            }
+            fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+                self.bursts.push(burst.len());
+                for (from, frame) in burst.drain(..) {
+                    self.on_frame(from, frame, ctx);
+                }
+            }
+        }
+
+        fn run_star<H: Node>(hub_node: H) -> (Vec<FrameTraceEntry>, u64, usize, Network) {
+            let mut b = NetworkBuilder::new(7);
+            let hub = b.add_node(hub_node);
+            let pingers: Vec<NodeId> = (0..4).map(|_| b.add_node(pinger(Some(hub), 25))).collect();
+            // Faults on the reply path make the trace sensitive to the order
+            // of the hub's sends: any reordering shifts the fault-RNG stream.
+            let faulty = LinkConfig::new(8e9, SimDuration::from_nanos(100)).with_faults(
+                crate::faults::FaultModel::reliable()
+                    .with_loss(0.1)
+                    .with_duplication(0.05),
+            );
+            for &p in &pingers {
+                b.connect_directed(p, hub, LinkConfig::new(8e9, SimDuration::from_nanos(100)));
+                b.connect_directed(hub, p, faulty.clone());
+            }
+            let mut net = b.build();
+            net.enable_frame_trace(4096);
+            net.run_to_idle();
+            let trace: Vec<FrameTraceEntry> = net.frame_trace().copied().collect();
+            let events = net.events_processed();
+            let echoes = pingers
+                .iter()
+                .map(|&p| net.node::<Pinger>(p).echoes)
+                .sum::<usize>();
+            (trace, events, echoes, net)
+        }
+
+        let (seq_trace, seq_events, seq_echoes, _) = run_star(SeqHub);
+        let (bat_trace, bat_events, bat_echoes, bat_net) = run_star(BatchHub { bursts: vec![] });
+        assert_eq!(seq_trace, bat_trace, "frame traces must be identical");
+        assert_eq!(seq_events, bat_events, "event accounting must be identical");
+        assert_eq!(seq_echoes, bat_echoes);
+        let hub: &BatchHub = bat_net.node(NodeId::from_index(0));
+        assert!(
+            hub.bursts.iter().any(|&n| n > 1),
+            "the topology must actually exercise multi-frame bursts, got {:?}",
+            &hub.bursts[..hub.bursts.len().min(10)]
+        );
     }
 
     #[test]

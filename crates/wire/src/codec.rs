@@ -14,6 +14,7 @@ use crate::packet::{
     AaRegion, AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple,
     PacketLayout, SeqNo, TaskId,
 };
+use crate::pool::PacketPool;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
 use std::sync::Arc;
@@ -280,7 +281,23 @@ fn put_entries(buf: &mut BytesMut, entries: &[KvTuple]) {
 /// Returns [`CodecError`] on truncation, unknown kinds, invalid keys, an
 /// impossible declared layout, or trailing bytes.
 pub fn decode(mut buf: Bytes) -> Result<AskPacket, CodecError> {
-    let packet = decode_inner(&mut buf)?;
+    let packet = decode_inner(&mut buf, None)?;
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes(buf.len()));
+    }
+    Ok(packet)
+}
+
+/// [`decode`] drawing slot/tuple backing stores from `pool` instead of
+/// allocating. Vectors taken for a packet that later fails to decode are
+/// dropped, not returned — error paths are cold and self-heal on the next
+/// recycle.
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn decode_pooled(mut buf: Bytes, pool: &mut PacketPool) -> Result<AskPacket, CodecError> {
+    let packet = decode_inner(&mut buf, Some(pool))?;
     if !buf.is_empty() {
         return Err(CodecError::TrailingBytes(buf.len()));
     }
@@ -295,7 +312,10 @@ fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
     }
 }
 
-fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
+fn decode_inner(
+    buf: &mut Bytes,
+    mut pool: Option<&mut PacketPool>,
+) -> Result<AskPacket, CodecError> {
     need(buf, 1)?;
     let kind = buf.get_u8();
     match kind {
@@ -316,7 +336,10 @@ fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
             if slots_total < 128 && bitmap >> slots_total != 0 {
                 return Err(CodecError::BadLayout);
             }
-            let mut slots = Vec::with_capacity(slots_total);
+            let mut slots = match pool.as_deref_mut() {
+                Some(p) => p.take_slots(slots_total),
+                None => Vec::with_capacity(slots_total),
+            };
             for i in 0..slots_total {
                 if bitmap & (1 << i) == 0 {
                     slots.push(None);
@@ -357,7 +380,7 @@ fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
             let task = TaskId(buf.get_u32());
             let channel = ChannelId(buf.get_u32());
             let seq = SeqNo(buf.get_u64());
-            let entries = get_entries(buf)?;
+            let entries = get_entries(buf, pool)?;
             Ok(AskPacket::LongKv {
                 task,
                 channel,
@@ -405,7 +428,9 @@ fn decode_inner(buf: &mut Bytes) -> Result<AskPacket, CodecError> {
             need(buf, 8)?;
             let task = TaskId(buf.get_u32());
             let fetch_seq = buf.get_u32();
-            let entries = Arc::new(get_entries(buf)?);
+            // Fetch-reply entries go behind a shared `Arc` (fetch cache,
+            // replayed replies), so their backing store cannot be recycled.
+            let entries = Arc::new(get_entries(buf, None)?);
             Ok(AskPacket::FetchReply {
                 task,
                 fetch_seq,
@@ -599,10 +624,38 @@ pub fn decode_envelope(mut bytes: Bytes) -> Result<Envelope, CodecError> {
     Ok(Envelope { src, dst, packet })
 }
 
-fn get_entries(buf: &mut Bytes) -> Result<Vec<KvTuple>, CodecError> {
+/// [`decode_envelope`] drawing packet backing stores from `pool` — the hot
+/// path used by the switch and the daemons, which own a [`PacketPool`] and
+/// recycle each packet's vectors once its tuples are consumed.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_envelope`].
+pub fn decode_envelope_pooled(
+    mut bytes: Bytes,
+    pool: &mut PacketPool,
+) -> Result<Envelope, CodecError> {
+    need(&bytes, 12)?;
+    let expected = bytes.get_u32();
+    if crc32(&bytes) != expected {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let src = bytes.get_u32();
+    let dst = bytes.get_u32();
+    let packet = decode_pooled(bytes, pool)?;
+    Ok(Envelope { src, dst, packet })
+}
+
+fn get_entries(
+    buf: &mut Bytes,
+    pool: Option<&mut PacketPool>,
+) -> Result<Vec<KvTuple>, CodecError> {
     need(buf, 4)?;
     let count = buf.get_u32() as usize;
-    let mut entries = Vec::with_capacity(count.min(4096));
+    let mut entries = match pool {
+        Some(p) => p.take_tuples(count.min(4096)),
+        None => Vec::with_capacity(count.min(4096)),
+    };
     for _ in 0..count {
         need(buf, 2)?;
         let len = buf.get_u16() as usize;

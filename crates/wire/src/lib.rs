@@ -32,11 +32,13 @@ pub mod codec;
 pub mod constants;
 pub mod key;
 pub mod packet;
+pub mod pool;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::codec::{
-        crc32, decode, decode_envelope, encode, encode_envelope, CodecError, Envelope,
+        crc32, decode, decode_envelope, decode_envelope_pooled, decode_pooled, encode,
+        encode_envelope, CodecError, Envelope,
     };
     pub use crate::constants::PACKET_OVERHEAD;
     pub use crate::key::{Key, KeyClass, KeyError};
@@ -44,6 +46,7 @@ pub mod prelude {
         AaRegion, AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple,
         PacketLayout, SeqNo, TaskId,
     };
+    pub use crate::pool::PacketPool;
 }
 
 #[cfg(test)]
