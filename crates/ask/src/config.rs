@@ -75,6 +75,25 @@ pub struct AskConfig {
     /// twice". Pure oracle bookkeeping — no hardware analogue, no effect on
     /// the data path — and off by default.
     pub absorption_audit: bool,
+    /// Per-attempt growth factor of the retransmission delay
+    /// ([`crate::host::backoff::BackoffPolicy`]): the k-th retransmission of
+    /// a packet waits `retransmit_timeout * backoff_factor^k`, capped at
+    /// [`AskConfig::backoff_cap`]. `1` (the default) keeps the paper's flat
+    /// fine-grained timer.
+    pub backoff_factor: u32,
+    /// Upper bound on the backed-off retransmission delay.
+    pub backoff_cap: SimDuration,
+    /// Deterministic jitter applied to every backoff delay, in permille of
+    /// the nominal delay (`0` disables; `250` means ±25%). The jitter is a
+    /// pure function of the policy seed, the packet key, and the attempt
+    /// number, so schedules stay reproducible.
+    pub backoff_jitter_permille: u32,
+    /// After this many retransmissions of a single packet the sender
+    /// declares the aggregation path suspect (dead or restarting switch) and
+    /// enters degraded pass-through mode: data packets are stamped
+    /// no-aggregate and relayed end-to-end unaggregated. `None` (the
+    /// default) never escalates.
+    pub escalate_after: Option<u32>,
 }
 
 impl AskConfig {
@@ -98,6 +117,10 @@ impl AskConfig {
             force_host_only: false,
             congestion_control: false,
             absorption_audit: false,
+            backoff_factor: 1,
+            backoff_cap: SimDuration::from_micros(100).saturating_mul(64),
+            backoff_jitter_permille: 0,
+            escalate_after: None,
         }
     }
 
@@ -136,6 +159,15 @@ impl AskConfig {
         assert!(self.max_tasks > 0 && self.max_channels > 0, "need capacity");
         assert!(self.data_channels > 0, "need at least one data channel");
         assert!(self.long_kv_batch > 0, "long-kv batch must be positive");
+        assert!(self.backoff_factor >= 1, "backoff factor must be at least 1");
+        assert!(
+            self.backoff_cap >= self.retransmit_timeout,
+            "backoff cap must not undercut the base timeout"
+        );
+        assert!(
+            self.backoff_jitter_permille <= 1000,
+            "jitter is a permille fraction of the delay"
+        );
     }
 }
 

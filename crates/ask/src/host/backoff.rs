@@ -1,0 +1,225 @@
+//! Bounded-exponential retransmission backoff.
+//!
+//! The paper's prototype retransmits on a flat fine-grained 100 µs timer
+//! (§3.3), which is the right call when the switch is healthy: losses are
+//! rare and isolated, and a quick resend keeps the window moving. When the
+//! switch *crashes*, every in-flight packet on every channel times out at
+//! once, and a flat timer turns the outage into a synchronized retransmit
+//! storm against a dead port. [`BackoffPolicy`] generalizes the timer: the
+//! k-th retransmission of a packet waits
+//! `min(base * factor^k, cap)`, optionally perturbed by deterministic
+//! per-packet jitter so the storm de-synchronizes.
+//!
+//! With the default configuration (`factor = 1`, `jitter = 0`) the policy
+//! degenerates to exactly the paper's flat timer, so enabling the machinery
+//! costs nothing on healthy runs and leaves committed goldens untouched.
+//!
+//! Determinism: the jitter is a pure function of `(seed, key, attempt)` via
+//! splitmix64 — no shared RNG stream, no dependence on event order. Two runs
+//! with the same seeds produce bit-identical schedules.
+
+use ask_simnet::time::SimDuration;
+
+use crate::config::AskConfig;
+
+/// Deterministic bounded-exponential backoff schedule.
+///
+/// # Examples
+///
+/// ```
+/// use ask::host::backoff::BackoffPolicy;
+/// use ask_simnet::time::SimDuration;
+///
+/// let p = BackoffPolicy {
+///     base: SimDuration::from_micros(100),
+///     factor: 2,
+///     cap: SimDuration::from_micros(350),
+///     jitter_permille: 0,
+///     seed: 1,
+/// };
+/// assert_eq!(p.delay(7, 0), SimDuration::from_micros(100));
+/// assert_eq!(p.delay(7, 1), SimDuration::from_micros(200));
+/// assert_eq!(p.delay(7, 2), SimDuration::from_micros(350)); // capped
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// Delay before the first retransmission (attempt 0).
+    pub base: SimDuration,
+    /// Per-attempt multiplier; `1` keeps the delay flat.
+    pub factor: u32,
+    /// Ceiling on the nominal (pre-jitter) delay.
+    pub cap: SimDuration,
+    /// Jitter amplitude in permille of the nominal delay (`0..=1000`).
+    pub jitter_permille: u32,
+    /// Seed mixed into the per-packet jitter stream.
+    pub seed: u64,
+}
+
+/// The splitmix64 finalizer: a cheap, well-distributed 64-bit mix.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BackoffPolicy {
+    /// Builds the policy a daemon uses, from its config and a per-host seed.
+    pub fn from_config(config: &AskConfig, seed: u64) -> Self {
+        BackoffPolicy {
+            base: config.retransmit_timeout,
+            factor: config.backoff_factor,
+            cap: config.backoff_cap,
+            jitter_permille: config.backoff_jitter_permille,
+            seed,
+        }
+    }
+
+    /// Nominal delay for the given attempt: `min(base * factor^attempt, cap)`.
+    fn nominal_nanos(&self, attempt: u32) -> u64 {
+        let cap = self.cap.as_nanos();
+        let mut d = self.base.as_nanos().min(cap);
+        for _ in 0..attempt {
+            d = d.saturating_mul(u64::from(self.factor));
+            if d >= cap {
+                return cap;
+            }
+        }
+        d
+    }
+
+    /// Delay before retransmission number `attempt` (0-based) of the packet
+    /// identified by `key`. Jitter shifts the nominal delay by at most
+    /// `nominal * jitter_permille / 1000` in either direction; the result is
+    /// clamped to at least 1 ns so a timer always moves time forward.
+    pub fn delay(&self, key: u64, attempt: u32) -> SimDuration {
+        let nominal = self.nominal_nanos(attempt);
+        if self.jitter_permille == 0 {
+            return SimDuration::from_nanos(nominal.max(1));
+        }
+        let amplitude = nominal / 1000 * u64::from(self.jitter_permille)
+            + nominal % 1000 * u64::from(self.jitter_permille) / 1000;
+        let r = splitmix64(self.seed ^ splitmix64(key ^ (u64::from(attempt) << 32)));
+        // Uniform offset in [-amplitude, +amplitude].
+        let span = amplitude.saturating_mul(2).saturating_add(1);
+        let offset = r % span;
+        let jittered = nominal - amplitude + offset;
+        SimDuration::from_nanos(jittered.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn policy(factor: u32, cap_us: u64, jitter: u32, seed: u64) -> BackoffPolicy {
+        BackoffPolicy {
+            base: SimDuration::from_micros(100),
+            factor,
+            cap: SimDuration::from_micros(cap_us),
+            jitter_permille: jitter,
+            seed,
+        }
+    }
+
+    #[test]
+    fn flat_policy_reproduces_fixed_timer() {
+        let p = policy(1, 6_400, 0, 9);
+        for attempt in 0..40 {
+            assert_eq!(p.delay(3, attempt), SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn doubling_reaches_cap_and_stays() {
+        let p = policy(2, 800, 0, 9);
+        let expect = [100u64, 200, 400, 800, 800, 800];
+        for (attempt, us) in expect.iter().enumerate() {
+            assert_eq!(p.delay(0, attempt as u32), SimDuration::from_micros(*us));
+        }
+    }
+
+    #[test]
+    fn huge_attempt_saturates_instead_of_overflowing() {
+        let p = policy(1000, 1_000_000, 0, 9);
+        assert_eq!(p.delay(0, 1_000), SimDuration::from_micros(1_000_000));
+    }
+
+    #[test]
+    fn jitter_never_yields_zero() {
+        let p = BackoffPolicy {
+            base: SimDuration::from_nanos(1),
+            factor: 1,
+            cap: SimDuration::from_nanos(1),
+            jitter_permille: 1000,
+            seed: 5,
+        };
+        for key in 0..64 {
+            assert!(p.delay(key, 0) >= SimDuration::from_nanos(1));
+        }
+    }
+
+    proptest! {
+        /// Without jitter the schedule is monotone non-decreasing in the
+        /// attempt number and never exceeds the cap.
+        #[test]
+        fn prop_monotone_and_capped(
+            factor in 1u32..8,
+            cap_us in 100u64..10_000,
+            key in any::<u64>(),
+        ) {
+            let p = policy(factor, cap_us, 0, 1);
+            let mut prev = SimDuration::ZERO;
+            for attempt in 0..24 {
+                let d = p.delay(key, attempt);
+                prop_assert!(d >= prev, "attempt {attempt}: {d:?} < {prev:?}");
+                prop_assert!(d <= p.cap);
+                prev = d;
+            }
+        }
+
+        /// With factor 2 the delay exactly doubles until it hits the cap.
+        #[test]
+        fn prop_doubles_until_cap(cap_us in 100u64..100_000, key in any::<u64>()) {
+            let p = policy(2, cap_us, 0, 1);
+            for attempt in 0..20u32 {
+                let nominal = 100_000u64
+                    .saturating_mul(1u64 << attempt)
+                    .min(p.cap.as_nanos());
+                prop_assert_eq!(p.delay(key, attempt).as_nanos(), nominal);
+            }
+        }
+
+        /// Jitter stays within the configured permille bound of the nominal
+        /// delay.
+        #[test]
+        fn prop_jitter_bounded(
+            jitter in 0u32..=1000,
+            seed in any::<u64>(),
+            key in any::<u64>(),
+            attempt in 0u32..16,
+        ) {
+            let nominal = policy(2, 3_200, 0, seed).delay(key, attempt).as_nanos();
+            let jittered = policy(2, 3_200, jitter, seed).delay(key, attempt).as_nanos();
+            let bound = nominal as u128 * u128::from(jitter) / 1000;
+            let diff = nominal.abs_diff(jittered);
+            prop_assert!(
+                u128::from(diff) <= bound + 1,
+                "nominal {nominal} jittered {jittered} bound {bound}"
+            );
+        }
+
+        /// The schedule is a pure function of (seed, key, attempt).
+        #[test]
+        fn prop_deterministic_per_seed(
+            seed in any::<u64>(),
+            key in any::<u64>(),
+            attempt in 0u32..16,
+        ) {
+            let a = policy(2, 3_200, 500, seed).delay(key, attempt);
+            let b = policy(2, 3_200, 500, seed).delay(key, attempt);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -4,8 +4,9 @@
 
 use crate::config::AskConfig;
 use crate::fasthash::FastMap;
+use crate::host::backoff::{splitmix64, BackoffPolicy};
 use crate::host::congestion::CongestionWindow;
-use crate::host::packetizer::Packetizer;
+use crate::host::packetizer::{Packetizer, PendingStream};
 use crate::host::receiver::ReceiverWindow;
 use crate::host::trace::{TraceEvent, TraceLog};
 use crate::host::window::SenderWindow;
@@ -14,7 +15,7 @@ use crate::switch::aggregator::Observation;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
 use ask_simnet::time::{SimDuration, SimTime};
-use ask_wire::codec::{decode_envelope_pooled, encode_envelope_parts};
+use ask_wire::codec::{decode_envelope_pooled, encode_envelope_parts, FLAG_NO_AGGREGATE};
 use ask_wire::pool::PacketPool;
 use ask_wire::constants::PACKET_OVERHEAD;
 use ask_wire::key::Key;
@@ -51,17 +52,18 @@ fn token_announce(task: TaskId) -> u64 {
 }
 
 /// An item queued on a data channel, waiting for the window.
+///
+/// A stream stays classified-but-unpacketized until the window actually
+/// admits each packet ([`PendingStream`]); that way at most a window's worth
+/// of payload vectors is live at a time and ACK-recycled vectors flow
+/// straight back into the next packet, instead of the whole stream being
+/// materialized up front against a cold [`PacketPool`].
 #[derive(Debug)]
 enum QueuedItem {
-    Data {
+    Stream {
         task: TaskId,
         dst: u32,
-        slots: Vec<Option<KvTuple>>,
-    },
-    LongKv {
-        task: TaskId,
-        dst: u32,
-        entries: Vec<KvTuple>,
+        stream: PendingStream,
     },
     Fin {
         task: TaskId,
@@ -157,6 +159,12 @@ pub struct AskDaemon {
     announced: FastMap<TaskId, u32>,
     /// Sender side: tuples waiting for a TaskAnnounce.
     pending_sends: FastMap<TaskId, Vec<KvTuple>>,
+    /// Sender side: every dispatched stream, retained for replay when the
+    /// switch restarts under a new epoch. A sender cannot know whether the
+    /// receiver already banked its contribution (switch aggregators are
+    /// wiped by the crash), so resynchronization replays conservatively;
+    /// receivers dedup via the epoch gate and completion checks.
+    sent_streams: FastMap<TaskId, (u32, Vec<KvTuple>)>,
     /// Sender side: tasks whose FIN has been acknowledged.
     send_done: FastMap<TaskId, SimTime>,
     /// Receiver side.
@@ -170,6 +178,15 @@ pub struct AskDaemon {
     /// Recycled packet bodies: decode and packetize draw from here; ACKed
     /// window entries and merged receive payloads flow back.
     pool: PacketPool,
+    /// Highest switch epoch this daemon has seen. Frames from older epochs
+    /// (pre-crash verdicts, ACKs, fetch replies) are dropped at ingress.
+    known_epoch: u32,
+    /// True while the retransmit escalation has declared the aggregation
+    /// path suspect: fresh data packets are stamped no-aggregate. Cleared
+    /// when the switch ACKs again or a new epoch resynchronizes.
+    degraded: bool,
+    /// Retransmission schedule (flat with default config).
+    backoff: BackoffPolicy,
 }
 
 impl AskDaemon {
@@ -178,6 +195,7 @@ impl AskDaemon {
         config.validate();
         let packetizer = Packetizer::new(config.layout, config.long_kv_batch);
         let trace = TraceLog::new(config.trace_capacity);
+        let backoff = BackoffPolicy::from_config(&config, 0);
         AskDaemon {
             config,
             switch,
@@ -186,6 +204,7 @@ impl AskDaemon {
             channels: Vec::new(),
             announced: FastMap::default(),
             pending_sends: FastMap::default(),
+            sent_streams: FastMap::default(),
             send_done: FastMap::default(),
             recv_windows: FastMap::default(),
             recv_tasks: FastMap::default(),
@@ -194,6 +213,9 @@ impl AskDaemon {
             cpu_busy: SimDuration::ZERO,
             orphan_tuples: 0,
             pool: PacketPool::new(),
+            known_epoch: 0,
+            degraded: false,
+            backoff,
         }
     }
 
@@ -207,6 +229,8 @@ impl AskDaemon {
             "too many data channels for the id stride"
         );
         self.me = Some(me);
+        // Per-host jitter stream; irrelevant with the default jitter of 0.
+        self.backoff.seed = splitmix64(0x6261_636b_6f66_6621 ^ me.index() as u64);
         self.channels = (0..self.config.data_channels)
             .map(|i| ChannelState {
                 id: ChannelId(me.index() as u32 * CHANNEL_STRIDE + i as u32),
@@ -368,6 +392,16 @@ impl AskDaemon {
         )
     }
 
+    /// The highest switch epoch this daemon has synchronized against.
+    pub fn known_epoch(&self) -> u32 {
+        self.known_epoch
+    }
+
+    /// True while the daemon is in degraded no-aggregate pass-through mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Simulates the daemon restarting from its crash-consistent state
     /// (window contents and task tables survive; pacing and armed timers do
     /// not): every in-flight packet is retransmitted — the receiver's
@@ -413,11 +447,108 @@ impl AskDaemon {
         }
     }
 
+    /// Full resynchronization against a restarted switch (epoch `epoch`).
+    ///
+    /// Called the moment any frame with a newer epoch arrives, *before* that
+    /// frame's payload is processed. The crash wiped every aggregator,
+    /// dedup register, and task region on the switch, and the epoch gate
+    /// guarantees nothing from the old epoch will ever be accepted again on
+    /// either side — so both roles restart their protocol state from
+    /// scratch under the new epoch:
+    ///
+    /// - sender: windows are drained and the per-channel sequence space
+    ///   restarts at 0 (the switch's wiped even/odd dedup bitmaps only read
+    ///   correctly for a zero-based sequence space); retained streams are
+    ///   replayed in task order.
+    /// - receiver: receive windows are cleared and every unfinished task
+    ///   re-requests its switch region, dropping all partial residuals
+    ///   (their content is re-delivered by the senders' replays).
+    fn resync_to_epoch(&mut self, epoch: u32, ctx: &mut Context<'_>) {
+        self.known_epoch = epoch;
+        self.degraded = false;
+        for ch in &mut self.channels {
+            for e in ch.window.drain_reset() {
+                match e.packet {
+                    AskPacket::Data(pkt) => self.pool.recycle_slots(pkt.slots),
+                    AskPacket::LongKv { entries, .. } => self.pool.recycle_tuples(entries),
+                    _ => {}
+                }
+            }
+            ch.queue.clear();
+            ch.outstanding.clear();
+            ch.pump_armed = false;
+            ch.busy_until = SimTime::ZERO;
+            ch.cc = self
+                .config
+                .congestion_control
+                .then(|| CongestionWindow::new(self.config.window));
+        }
+        self.recv_windows.clear();
+        let mut incomplete: Vec<TaskId> = self
+            .recv_tasks
+            .iter()
+            .filter(|(_, rt)| rt.result.is_none())
+            .map(|(&t, _)| t)
+            .collect();
+        incomplete.sort_unstable_by_key(|t| t.0);
+        for task in incomplete {
+            let rt = self.recv_tasks.get_mut(&task).expect("listed above");
+            rt.ina = None;
+            rt.residual.clear();
+            rt.fins.clear();
+            rt.packets_since_swap = 0;
+            rt.fetch = FetchState::Idle;
+            rt.want_final = false;
+            let op = rt.op;
+            self.send_to(
+                self.switch.index() as u32,
+                AskPacket::Control(ControlMsg::RegionRequest { task, op }),
+                ctx,
+            );
+            ctx.set_timer(self.config.fetch_timeout, token_region(task));
+        }
+        let mut replay: Vec<(TaskId, u32, Vec<KvTuple>)> = self
+            .sent_streams
+            .iter()
+            .map(|(&t, (r, tuples))| (t, *r, tuples.clone()))
+            .collect();
+        replay.sort_unstable_by_key(|&(t, ..)| t.0);
+        for (task, receiver, tuples) in replay {
+            if receiver == self.my_index()
+                && self
+                    .recv_tasks
+                    .get(&task)
+                    .is_some_and(|rt| rt.result.is_some())
+            {
+                continue; // co-located task already finished; nothing lost
+            }
+            self.send_done.remove(&task);
+            self.dispatch_stream(task, receiver, tuples, ctx);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Sender side.
     // ------------------------------------------------------------------
 
     fn dispatch_send(
+        &mut self,
+        task: TaskId,
+        receiver: u32,
+        tuples: Vec<KvTuple>,
+        ctx: &mut Context<'_>,
+    ) {
+        // Retain the stream for crash-epoch replay before dispatching it.
+        let retained = self
+            .sent_streams
+            .entry(task)
+            .or_insert_with(|| (receiver, Vec::new()));
+        retained.0 = receiver;
+        retained.1.extend(tuples.iter().cloned());
+        self.dispatch_stream(task, receiver, tuples, ctx);
+    }
+
+    fn dispatch_stream(
         &mut self,
         task: TaskId,
         receiver: u32,
@@ -446,24 +577,15 @@ impl AskDaemon {
             self.check_completion(task, ctx);
             return;
         }
-        let stream = self.packetizer.packetize_pooled(tuples, &mut self.pool);
+        let stream = self.packetizer.begin_stream(tuples);
         let ch_ix = (task.0 as usize) % self.channels.len();
         {
             let ch = &mut self.channels[ch_ix];
-            for slots in stream.data_payloads {
-                ch.queue.push_back(QueuedItem::Data {
-                    task,
-                    dst: receiver,
-                    slots,
-                });
-            }
-            for entries in stream.long_batches {
-                ch.queue.push_back(QueuedItem::LongKv {
-                    task,
-                    dst: receiver,
-                    entries,
-                });
-            }
+            ch.queue.push_back(QueuedItem::Stream {
+                task,
+                dst: receiver,
+                stream,
+            });
             ch.queue.push_back(QueuedItem::Fin {
                 task,
                 dst: receiver,
@@ -498,46 +620,66 @@ impl AskDaemon {
                     return; // an ACK will re-pump
                 }
             }
-            let item = ch.queue.pop_front().expect("non-empty");
             let channel = ch.id;
             let seq = SeqNo(ch.window.next_seq());
-            let (packet, dst, task, gates_fin) = match item {
-                QueuedItem::Data { task, dst, slots } => (
-                    AskPacket::Data(DataPacket {
-                        task,
-                        channel,
-                        seq,
-                        slots,
-                    }),
-                    dst,
-                    task,
-                    true,
-                ),
-                QueuedItem::LongKv { task, dst, entries } => (
-                    AskPacket::LongKv {
-                        task,
-                        channel,
-                        seq,
-                        entries,
-                    },
-                    dst,
-                    task,
-                    true,
-                ),
-                QueuedItem::Fin { task, dst } => {
+            // A stream builds its next packet here, drawing the payload from
+            // the pool at the last moment; a drained stream is popped and the
+            // loop retries with the next queued item.
+            let (packet, dst, task, gates_fin) = match ch.queue.front_mut() {
+                Some(QueuedItem::Stream { task, dst, stream }) => {
+                    let (task, dst) = (*task, *dst);
+                    if let Some(slots) = stream.next_data_payload(&mut self.pool) {
+                        (
+                            AskPacket::Data(DataPacket {
+                                task,
+                                channel,
+                                seq,
+                                slots,
+                            }),
+                            dst,
+                            task,
+                            true,
+                        )
+                    } else if let Some(entries) = stream.next_long_batch(&mut self.pool) {
+                        (
+                            AskPacket::LongKv {
+                                task,
+                                channel,
+                                seq,
+                                entries,
+                            },
+                            dst,
+                            task,
+                            true,
+                        )
+                    } else {
+                        ch.queue.pop_front();
+                        continue;
+                    }
+                }
+                Some(QueuedItem::Fin { task, dst }) => {
+                    let (task, dst) = (*task, *dst);
+                    ch.queue.pop_front();
                     (AskPacket::Fin { task, channel, seq }, dst, task, false)
                 }
+                None => unreachable!("queue checked non-empty"),
             };
+            let ch = &mut self.channels[ch_ix];
             if gates_fin {
                 *ch.outstanding.entry(task).or_insert(0) += 1;
             }
             let me = self.my_index();
             let layout = self.config.layout;
             let wire = packet.wire_bytes(&layout);
+            let flags = if self.degraded && matches!(packet, AskPacket::Data(_)) {
+                FLAG_NO_AGGREGATE
+            } else {
+                0
+            };
             // One encode per packet: the window keeps the exact bytes the
             // frame carries, so retransmissions skip the codec entirely and
             // the packet itself moves into the window without a clone.
-            let bytes = encode_envelope_parts(me, dst, &packet, &layout);
+            let bytes = encode_envelope_parts(me, dst, self.known_epoch, flags, &packet, &layout);
             let ch = &mut self.channels[ch_ix];
             ch.window.register(packet, bytes.clone(), wire, dst, Some(task));
             ch.busy_until = now + self.config.cpu_per_packet;
@@ -599,15 +741,40 @@ impl AskDaemon {
     }
 
     fn retransmit(&mut self, ch_ix: usize, seq: u64, ctx: &mut Context<'_>) {
+        let me = self.my_index();
+        let layout = self.config.layout;
+        let epoch = self.known_epoch;
+        let escalate_after = self.config.escalate_after;
+        let mut escalated = false;
         // Resend the stored wire bytes verbatim — no re-encode, no clone of
-        // the packet body.
-        let Some((bytes, wire)) = self.channels[ch_ix]
-            .window
-            .retransmit(seq)
-            .map(|e| (e.encoded.clone(), e.wire))
-        else {
+        // the packet body — unless this attempt crosses the escalation
+        // threshold, in which case data packets are re-encoded once with the
+        // no-aggregate flag (degraded end-to-end pass-through).
+        let Some((bytes, wire, attempt)) = self.channels[ch_ix].window.retransmit(seq).map(|e| {
+            if let Some(k) = escalate_after {
+                if !e.degraded && e.retransmits >= k {
+                    e.degraded = true;
+                    escalated = true;
+                    if matches!(e.packet, AskPacket::Data(_)) {
+                        e.encoded = encode_envelope_parts(
+                            me,
+                            e.dst,
+                            epoch,
+                            FLAG_NO_AGGREGATE,
+                            &e.packet,
+                            &layout,
+                        );
+                    }
+                }
+            }
+            (e.encoded.clone(), e.wire, e.retransmits)
+        }) else {
             return; // already acknowledged
         };
+        if escalated {
+            self.degraded = true;
+            self.stats.degraded_entries += 1;
+        }
         self.stats.retransmissions += 1;
         let channel = self.channels[ch_ix].id;
         self.trace.record(
@@ -623,7 +790,8 @@ impl AskDaemon {
         self.cpu_busy += self.config.cpu_per_packet;
         self.stats.bytes_sent += wire as u64;
         let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
-        ctx.set_timer(self.config.retransmit_timeout, token_retx(ch_ix, seq));
+        let token = token_retx(ch_ix, seq);
+        ctx.set_timer(self.backoff.delay(token, attempt), token);
     }
 
     fn local_channel(&self, channel: ChannelId) -> Option<usize> {
@@ -945,7 +1113,8 @@ impl AskDaemon {
     fn send_to(&mut self, dst: u32, packet: AskPacket, ctx: &mut Context<'_>) {
         let layout = self.config.layout;
         let wire = packet.wire_bytes(&layout);
-        let bytes = encode_envelope_parts(self.my_index(), dst, &packet, &layout);
+        let bytes =
+            encode_envelope_parts(self.my_index(), dst, self.known_epoch, 0, &packet, &layout);
         // Everything leaves through the uplink to the switch.
         let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
     }
@@ -963,8 +1132,31 @@ impl Node for AskDaemon {
             return;
         };
         let src = envelope.src;
+        // Epoch gate: a newer epoch means the switch restarted — resync
+        // fully before processing this frame; an older epoch is a leftover
+        // of a dead incarnation (late verdict, ACK, or fetch reply computed
+        // against wiped switch state) and must not touch anything.
+        if envelope.epoch != self.known_epoch {
+            if envelope.epoch > self.known_epoch {
+                self.resync_to_epoch(envelope.epoch, ctx);
+            } else {
+                self.stats.stale_epoch_drops += 1;
+                match envelope.packet {
+                    AskPacket::Data(pkt) => self.pool.recycle_slots(pkt.slots),
+                    AskPacket::LongKv { entries, .. } => self.pool.recycle_tuples(entries),
+                    _ => {}
+                }
+                return;
+            }
+        }
         match envelope.packet {
-            AskPacket::Ack { channel, seq, ece } => self.on_ack(channel, seq, ece, ctx),
+            AskPacket::Ack { channel, seq, ece } => {
+                if self.degraded && src == self.switch.index() as u32 {
+                    // The switch is absorbing again; resume aggregation.
+                    self.degraded = false;
+                }
+                self.on_ack(channel, seq, ece, ctx)
+            }
             AskPacket::Data(mut pkt) => {
                 self.cpu_busy += self.config.cpu_per_packet;
                 match self.observe(pkt.channel, pkt.seq) {
@@ -1059,6 +1251,8 @@ impl Node for AskDaemon {
             AskPacket::Control(ControlMsg::TaskAnnounce { task, receiver }) => {
                 self.on_announce(task, receiver, ctx)
             }
+            // The epoch gate above already did all the work for a notify.
+            AskPacket::Control(ControlMsg::EpochNotify { .. }) => {}
             // Packets a daemon never receives (switch-bound kinds).
             AskPacket::Swap { .. }
             | AskPacket::FetchRequest { .. }

@@ -1,5 +1,6 @@
 //! Host-side components: daemon, packetizer, sliding windows.
 
+pub mod backoff;
 pub mod congestion;
 pub mod daemon;
 pub mod packetizer;
@@ -7,10 +8,11 @@ pub mod receiver;
 pub mod trace;
 pub mod window;
 
+pub use backoff::BackoffPolicy;
 pub use congestion::CongestionWindow;
 pub use trace::{TraceEvent, TraceLog};
 
 pub use daemon::{AskDaemon, ChannelSnapshot, TaskResult, CHANNEL_STRIDE};
-pub use packetizer::{PacketizedStream, Packetizer};
+pub use packetizer::{PacketizedStream, Packetizer, PendingStream};
 pub use receiver::ReceiverWindow;
 pub use window::{InFlight, SenderWindow};

@@ -125,6 +125,35 @@ impl Packetizer {
         self.packetize_inner(tuples, Some(pool))
     }
 
+    /// Classifies a stream into per-slot queues but defers packet
+    /// construction: each payload is drawn from the caller's [`PacketPool`]
+    /// only when [`PendingStream::next_data_payload`] /
+    /// [`PendingStream::next_long_batch`] is called. The packets produced are
+    /// identical — contents and order — to [`Packetizer::packetize`]; only
+    /// the allocation timing differs. This is what lets a sender keep at most
+    /// a window's worth of payload vectors live (and therefore recyclable)
+    /// instead of materializing the whole stream up front against a cold
+    /// pool.
+    pub fn begin_stream<I>(&self, tuples: I) -> PendingStream
+    where
+        I: IntoIterator<Item = KvTuple>,
+    {
+        let slots = self.layout.slot_count();
+        let mut queues: Vec<VecDeque<KvTuple>> = vec![VecDeque::new(); slots];
+        let mut long_queue: VecDeque<KvTuple> = VecDeque::new();
+        for tuple in tuples {
+            match self.slot_for(&tuple) {
+                Some(s) => queues[s].push_back(tuple),
+                None => long_queue.push_back(tuple),
+            }
+        }
+        PendingStream {
+            queues,
+            long_queue,
+            long_kv_batch: self.long_kv_batch,
+        }
+    }
+
     fn packetize_inner<I>(&self, tuples: I, mut pool: Option<&mut PacketPool>) -> PacketizedStream
     where
         I: IntoIterator<Item = KvTuple>,
@@ -157,6 +186,49 @@ impl Packetizer {
             out.long_batches.push(batch);
         }
         out
+    }
+}
+
+/// A classified stream whose packets are built lazily, one at a time, from a
+/// caller-supplied [`PacketPool`]. Created by [`Packetizer::begin_stream`].
+#[derive(Debug, Clone)]
+pub struct PendingStream {
+    queues: Vec<VecDeque<KvTuple>>,
+    long_queue: VecDeque<KvTuple>,
+    long_kv_batch: usize,
+}
+
+impl PendingStream {
+    /// Builds the next data payload from the slot queues, or `None` when the
+    /// data portion of the stream is exhausted.
+    pub fn next_data_payload(&mut self, pool: &mut PacketPool) -> Option<Vec<Option<KvTuple>>> {
+        if self.queues.iter().all(|q| q.is_empty()) {
+            return None;
+        }
+        let mut payload = pool.take_slots(self.queues.len());
+        payload.extend(self.queues.iter_mut().map(|q| q.pop_front()));
+        Some(payload)
+    }
+
+    /// Builds the next long-key bypass batch, or `None` when none remain.
+    pub fn next_long_batch(&mut self, pool: &mut PacketPool) -> Option<Vec<KvTuple>> {
+        if self.long_queue.is_empty() {
+            return None;
+        }
+        let n = self.long_queue.len().min(self.long_kv_batch);
+        let mut batch = pool.take_tuples(n);
+        batch.extend(self.long_queue.drain(..n));
+        Some(batch)
+    }
+
+    /// True when both the data and long-key portions are drained.
+    pub fn is_empty(&self) -> bool {
+        self.long_queue.is_empty() && self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Tuples not yet emitted as packets.
+    pub fn remaining_tuples(&self) -> usize {
+        self.long_queue.len() + self.queues.iter().map(|q| q.len()).sum::<usize>()
     }
 }
 
@@ -281,5 +353,47 @@ mod tests {
         let again = p.packetize_pooled(tuples(), &mut pool);
         assert_eq!(plain.data_payloads, again.data_payloads);
         assert!(pool.hits() > before_hits, "second round should hit the pool");
+    }
+
+    #[test]
+    fn lazy_stream_matches_eager_packetize() {
+        let p = packetizer();
+        let tuples: Vec<KvTuple> = (0..40)
+            .map(|i| KvTuple::new(Key::from_u64(i % 11), i as u32))
+            .chain((0..7).map(|i| kv("waytoolongkey", i)))
+            .collect();
+        let eager = p.packetize(tuples.clone());
+        let mut pool = PacketPool::new();
+        let mut pending = p.begin_stream(tuples);
+        assert_eq!(pending.remaining_tuples(), 47);
+        let mut data = Vec::new();
+        while let Some(payload) = pending.next_data_payload(&mut pool) {
+            data.push(payload);
+        }
+        let mut long = Vec::new();
+        while let Some(batch) = pending.next_long_batch(&mut pool) {
+            long.push(batch);
+        }
+        assert!(pending.is_empty());
+        assert_eq!(pending.remaining_tuples(), 0);
+        assert_eq!(eager.data_payloads, data);
+        assert_eq!(eager.long_batches, long);
+    }
+
+    #[test]
+    fn lazy_stream_recycles_between_packets() {
+        let p = Packetizer::new(PacketLayout::short_only(8), 8);
+        let tuples: Vec<KvTuple> = vec![kv("hot", 1); 50];
+        let mut pool = PacketPool::new();
+        let mut pending = p.begin_stream(tuples);
+        let mut built = 0u64;
+        while let Some(payload) = pending.next_data_payload(&mut pool) {
+            built += 1;
+            pool.recycle_slots(payload);
+        }
+        assert_eq!(built, 50);
+        // First take allocates; every later take reuses the recycled vector.
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 49);
     }
 }

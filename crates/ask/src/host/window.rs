@@ -25,6 +25,9 @@ pub struct InFlight {
     pub task: Option<TaskId>,
     /// Number of retransmissions so far.
     pub retransmits: u32,
+    /// Entry was escalated to degraded no-aggregate pass-through after the
+    /// configured retransmission budget ran out.
+    pub degraded: bool,
 }
 
 /// Sliding send window over one data channel's sequence space.
@@ -143,6 +146,7 @@ impl SenderWindow {
                 dst,
                 task,
                 retransmits: 0,
+                degraded: false,
             },
         );
         seq
@@ -155,16 +159,27 @@ impl SenderWindow {
     }
 
     /// Looks up an in-flight packet (for retransmission), bumping its
-    /// retransmit counter.
-    pub fn retransmit(&mut self, seq: u64) -> Option<&InFlight> {
+    /// retransmit counter. The entry is mutable so the caller can swap in a
+    /// re-encoded frame (degraded-mode escalation).
+    pub fn retransmit(&mut self, seq: u64) -> Option<&mut InFlight> {
         let entry = self.inflight.get_mut(&seq)?;
         entry.retransmits += 1;
-        Some(&*entry)
+        Some(entry)
     }
 
     /// True once every transmission has been acknowledged.
     pub fn is_idle(&self) -> bool {
         self.inflight.is_empty()
+    }
+
+    /// Empties the window and restarts the sequence space at 0, returning
+    /// the abandoned entries (newest-epoch resynchronization: the switch's
+    /// dedup registers were wiped, and their even/odd phase encoding only
+    /// reads correctly for a sequence space that starts from zero). The
+    /// peak-in-flight high-water mark is preserved across the reset.
+    pub fn drain_reset(&mut self) -> Vec<InFlight> {
+        self.next_seq = 0;
+        std::mem::take(&mut self.inflight).into_values().collect()
     }
 }
 
@@ -225,6 +240,20 @@ mod tests {
         assert_eq!(e.dst, 7);
         assert_eq!(e.task, Some(TaskId(3)));
         assert!(w.retransmit(0).is_none(), "acked packets are gone");
+    }
+
+    #[test]
+    fn drain_reset_restarts_sequence_space() {
+        let mut w = SenderWindow::with_start_seq(4, 1000);
+        w.register(dummy_packet(0), Bytes::new(), 0, 1, Some(TaskId(3)));
+        w.register(dummy_packet(0), Bytes::new(), 0, 1, None);
+        assert_eq!(w.peak_in_flight(), 2);
+        let drained = w.drain_reset();
+        assert_eq!(drained.len(), 2);
+        assert!(w.is_idle());
+        assert_eq!(w.next_seq(), 0, "sequence space restarts at zero");
+        assert_eq!(w.peak_in_flight(), 2, "high-water mark survives the reset");
+        assert_eq!(w.register(dummy_packet(0), Bytes::new(), 0, 1, None), 0);
     }
 
     #[test]

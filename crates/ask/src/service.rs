@@ -148,6 +148,26 @@ impl AskService {
         self.network.node_mut(self.switch)
     }
 
+    /// Schedules a switch outage: the switch drops off the network at
+    /// `down_at` (frames and timers addressed to it are discarded) and
+    /// comes back at `up_at` through [`AskSwitch::crash`] — empty data
+    /// plane, next epoch. Hosts detect the outage through retransmit
+    /// timeouts and resynchronize against the restarted switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `up_at <= down_at`.
+    pub fn schedule_switch_outage(&mut self, down_at: SimTime, up_at: SimTime) {
+        assert!(up_at > down_at, "outage must end after it starts");
+        self.network.schedule_node_down(self.switch, down_at);
+        self.network.schedule_node_up(self.switch, up_at);
+    }
+
+    /// The switch's current incarnation number (starts at 0, +1 per crash).
+    pub fn switch_epoch(&self) -> u32 {
+        self.switch_ref().epoch()
+    }
+
     /// Restarts `host`'s daemon mid-run ([`AskDaemon::recover`]): in-flight
     /// packets are retransmitted from the crash-consistent window and
     /// pending fetches re-driven.

@@ -124,6 +124,13 @@ pub struct HostStats {
     pub pool_hits: u64,
     /// Packet-pool takes that had to allocate.
     pub pool_misses: u64,
+    /// Frames dropped because they carried a pre-crash switch epoch
+    /// (late verdicts, ACKs, or fetch replies from before a restart).
+    pub stale_epoch_drops: u64,
+    /// In-flight entries escalated to degraded no-aggregate pass-through
+    /// after exhausting [`crate::config::AskConfig::escalate_after`]
+    /// retransmissions.
+    pub degraded_entries: u64,
     /// Histogram of delivery burst lengths handed to the daemon by the
     /// simulator's burst drain (log₂ buckets, see [`burst_bucket`]).
     pub burst_len: [u64; BURST_BUCKETS],
@@ -144,6 +151,8 @@ impl HostStats {
         self.goodput_bytes_sent += other.goodput_bytes_sent;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.stale_epoch_drops += other.stale_epoch_drops;
+        self.degraded_entries += other.degraded_entries;
         for (a, b) in self.burst_len.iter_mut().zip(other.burst_len.iter()) {
             *a += b;
         }

@@ -197,6 +197,21 @@ pub struct AggregatorEngine {
     /// Recycled packet backing stores: the decode path takes slot vectors
     /// from here and every verdict that consumes a packet returns them.
     pool: PacketPool,
+    /// Violations journaled by pipelines discarded in [`crash_reset`]
+    /// (`AggregatorEngine::crash_reset`); added to the live pipeline's count
+    /// so the PISA-legality invariant spans crashes.
+    carried_violations: u64,
+}
+
+/// Register arrays of a freshly built switch pipeline.
+struct PipelineAlloc {
+    pipeline: Pipeline,
+    task_table: TableId,
+    copy_indicator: ArrayId,
+    max_seq: ArrayId,
+    seen: ArrayId,
+    aas: Vec<ArrayId>,
+    pkt_state: ArrayId,
 }
 
 impl AggregatorEngine {
@@ -209,6 +224,40 @@ impl AggregatorEngine {
     /// layout cannot fit a Tofino3-like pipeline chain.
     pub fn new(config: AskConfig) -> Self {
         config.validate();
+        let alloc = Self::build_pipeline(&config);
+        let free_indicators: Vec<usize> = (0..config.max_tasks).rev().collect();
+        let free_regions = vec![(0, config.aggregators_per_aa as u32)];
+        let absorbed_seqs = config.absorption_audit.then(HashSet::new);
+        let dispatch_lines = config.max_channels.next_power_of_two().max(64);
+        let task_slots = (0..config.max_tasks).map(|_| None).collect();
+        AggregatorEngine {
+            config,
+            pipeline: alloc.pipeline,
+            aas: alloc.aas,
+            task_table: alloc.task_table,
+            copy_indicator: alloc.copy_indicator,
+            max_seq: alloc.max_seq,
+            seen: alloc.seen,
+            pkt_state: alloc.pkt_state,
+            task_slots,
+            task_index: HashMap::new(),
+            finished_stats: HashMap::new(),
+            channel_slots: HashMap::new(),
+            dispatch: vec![DispatchEntry::invalid(); dispatch_lines],
+            dispatch_mask: dispatch_lines - 1,
+            dispatch_gen: 1,
+            free_indicators,
+            free_regions,
+            local_hosts: None,
+            absorbed_seqs,
+            pool: PacketPool::new(),
+            carried_violations: 0,
+        }
+    }
+
+    /// Builds and allocates the switch program's pipeline from scratch —
+    /// used both at construction and when a crash wipes the data plane.
+    fn build_pipeline(config: &AskConfig) -> PipelineAlloc {
         let n_aas = config.layout.aggregator_arrays();
         let aa_stages = n_aas.div_ceil(4);
         let stages_needed = 1 + aa_stages + 1;
@@ -239,34 +288,53 @@ impl AggregatorEngine {
         let pkt_state = pipeline
             .alloc_array(1 + aa_stages, config.max_channels * config.window, 64)
             .expect("PktState fits final stage");
-
-        let free_indicators: Vec<usize> = (0..config.max_tasks).rev().collect();
-        let free_regions = vec![(0, config.aggregators_per_aa as u32)];
-        let absorbed_seqs = config.absorption_audit.then(HashSet::new);
-        let dispatch_lines = config.max_channels.next_power_of_two().max(64);
-        let task_slots = (0..config.max_tasks).map(|_| None).collect();
-        AggregatorEngine {
-            config,
+        PipelineAlloc {
             pipeline,
-            aas,
             task_table,
             copy_indicator,
             max_seq,
             seen,
+            aas,
             pkt_state,
-            task_slots,
-            task_index: HashMap::new(),
-            finished_stats: HashMap::new(),
-            channel_slots: HashMap::new(),
-            dispatch: vec![DispatchEntry::invalid(); dispatch_lines],
-            dispatch_mask: dispatch_lines - 1,
-            dispatch_gen: 1,
-            free_indicators,
-            free_regions,
-            local_hosts: None,
-            absorbed_seqs,
-            pool: PacketPool::new(),
         }
+    }
+
+    /// Power-failure semantics: every register array, match table, dedup
+    /// window, task region, and cached verdict is gone; only control-plane
+    /// software state that would live off-switch survives (finished-task
+    /// counters, the host-locality config, and the violation total, which
+    /// [`AggregatorEngine::constraint_violations`] carries across the
+    /// rebuild). Live tasks' counters are banked into the finished set so
+    /// observability spans the crash.
+    pub fn crash_reset(&mut self) {
+        for (&task, &slot) in &self.task_index {
+            if let Some(entry) = self.task_slots[slot].take() {
+                self.finished_stats
+                    .entry(task)
+                    .or_default()
+                    .merge(&entry.stats);
+            }
+        }
+        self.task_index.clear();
+        self.carried_violations += self.pipeline.violation_count();
+        let alloc = Self::build_pipeline(&self.config);
+        self.pipeline = alloc.pipeline;
+        self.aas = alloc.aas;
+        self.task_table = alloc.task_table;
+        self.copy_indicator = alloc.copy_indicator;
+        self.max_seq = alloc.max_seq;
+        self.seen = alloc.seen;
+        self.pkt_state = alloc.pkt_state;
+        for slot in &mut self.task_slots {
+            *slot = None;
+        }
+        self.channel_slots.clear();
+        self.dispatch_gen += 1; // every cached dispatch line is now wrong
+        self.free_indicators = (0..self.config.max_tasks).rev().collect();
+        self.free_regions = vec![(0, self.config.aggregators_per_aa as u32)];
+        // The audit journal is per-epoch: sequence spaces restart at zero
+        // after a crash, so old (channel, seq) keys would falsely collide.
+        self.absorbed_seqs = self.config.absorption_audit.then(HashSet::new);
     }
 
     /// The engine's recycled packet-buffer pool.
@@ -309,9 +377,18 @@ impl AggregatorEngine {
 
     /// Per-task counters, surviving task release; `None` for unknown tasks.
     pub fn task_stats(&self, task: TaskId) -> Option<SwitchTaskStats> {
-        self.task_entry(task)
-            .map(|t| t.stats)
-            .or_else(|| self.finished_stats.get(&task).copied())
+        // A task can have both a live entry and banked counters: a crash
+        // banks the pre-crash stats while the re-registered epoch keeps its
+        // own. Observability spans the crash, so sum them.
+        let live = self.task_entry(task).map(|t| t.stats);
+        let finished = self.finished_stats.get(&task).copied();
+        match (live, finished) {
+            (Some(mut l), Some(f)) => {
+                l.merge(&f);
+                Some(l)
+            }
+            (l, f) => l.or(f),
+        }
     }
 
     /// The raw node index registered as `task`'s receiver.
@@ -400,7 +477,12 @@ impl AggregatorEngine {
         self.free_regions
             .push((entry.region.base, entry.region.aggregators));
         self.coalesce_free_regions();
-        self.finished_stats.insert(task, entry.stats);
+        // Merge (not insert): the task may have been registered before a
+        // crash too, and its pre-crash counters already live here.
+        self.finished_stats
+            .entry(task)
+            .or_default()
+            .merge(&entry.stats);
     }
 
     fn coalesce_free_regions(&mut self) {
@@ -510,6 +592,17 @@ impl AggregatorEngine {
         self.process_resolved(ent, pkt)
     }
 
+    /// [`AggregatorEngine::process_data`] for a packet flagged no-aggregate
+    /// (degraded pass-through): the dedup gate and `PktState` bookkeeping
+    /// run exactly as usual — so a flagged retransmission of a packet whose
+    /// original *was* absorbed still resolves through the recorded bitmap
+    /// and can never double-count — but first sightings skip the aggregator
+    /// arrays entirely and forward every tuple.
+    pub fn process_data_no_aggregate(&mut self, pkt: DataPacket) -> DataVerdict {
+        let ent = self.dispatch_entry(pkt.channel, pkt.task);
+        self.process_resolved_ex(ent, pkt, false)
+    }
+
     /// Processes a burst of data packets, returning one verdict per packet
     /// in input order (appended to `verdicts`).
     ///
@@ -580,11 +673,23 @@ impl AggregatorEngine {
     }
 
     /// The pipeline program for one packet, after dispatch resolution.
+    fn process_resolved(&mut self, ent: DispatchEntry, pkt: DataPacket) -> DataVerdict {
+        self.process_resolved_ex(ent, pkt, true)
+    }
+
+    /// The pipeline program for one packet, after dispatch resolution;
+    /// `aggregate: false` is the degraded no-aggregate variant (dedup and
+    /// `PktState` still run, aggregator arrays are skipped).
     // `drop(pass)` below deliberately ends the pipeline pass (and its
     // borrow) before control-plane state is updated; the lint misreads
     // that as a no-op.
     #[allow(clippy::drop_non_drop)]
-    fn process_resolved(&mut self, ent: DispatchEntry, mut pkt: DataPacket) -> DataVerdict {
+    fn process_resolved_ex(
+        &mut self,
+        ent: DispatchEntry,
+        mut pkt: DataPacket,
+        aggregate: bool,
+    ) -> DataVerdict {
         if ent.ch_slot == SLOT_NONE {
             // No reliability state available: best-effort pure forwarding.
             return DataVerdict::Forward(pkt);
@@ -644,7 +749,8 @@ impl AggregatorEngine {
                 DataVerdict::Stale
             }
             Observation::First => {
-                let (new_claims, aggregated, forwarded) = if ent.task_slot != SLOT_NONE {
+                let (new_claims, aggregated, forwarded) = if aggregate && ent.task_slot != SLOT_NONE
+                {
                     Self::aggregate_packet(
                         &mut pass,
                         &self.aas,
@@ -985,10 +1091,11 @@ impl AggregatorEngine {
         self.pipeline.passes_executed()
     }
 
-    /// Register-access/stage-order violations the pipeline journaled. The
+    /// Register-access/stage-order violations the pipeline journaled,
+    /// including those of pipelines discarded by crash resets. The
     /// conformance harness's PISA-legality invariant is `== 0`.
     pub fn constraint_violations(&self) -> u64 {
-        self.pipeline.violation_count()
+        self.carried_violations + self.pipeline.violation_count()
     }
 
     /// The recorded violation journal (bounded; see [`Pipeline::violations`]).

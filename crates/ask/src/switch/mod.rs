@@ -8,7 +8,7 @@ use crate::config::AskConfig;
 use crate::stats::SwitchTaskStats;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
-use ask_wire::codec::{decode_envelope_pooled, encode_envelope, Envelope};
+use ask_wire::codec::{decode_envelope_pooled, encode_envelope, Envelope, FLAG_NO_AGGREGATE};
 use ask_wire::packet::{AskPacket, ChannelId, ControlMsg, DataPacket, SeqNo, TaskId};
 use bytes::Bytes;
 
@@ -25,6 +25,10 @@ struct DataMeta {
     wire: usize,
     occupied_before: usize,
     payload: Bytes,
+    /// Sender-stamped envelope epoch/flags, preserved verbatim when the
+    /// switch rewrites the envelope for a residual forward.
+    epoch: u32,
+    flags: u8,
 }
 
 /// The top-of-rack ASK switch as a simulated network node.
@@ -44,6 +48,15 @@ pub struct AskSwitch {
     unroutable: u64,
     /// Frames that failed to decode.
     undecodable: u64,
+    /// The switch's incarnation number, bumped by every crash/restart and
+    /// stamped into every envelope the switch originates. Ingress frames
+    /// from an older epoch are rejected — their sender still talks to a
+    /// dead incarnation whose aggregator/dedup state is gone.
+    epoch: u32,
+    /// Ingress frames dropped by the epoch gate.
+    stale_epoch_drops: u64,
+    /// Data packets processed through the degraded no-aggregate path.
+    noagg_relayed: u64,
     /// Scratch buffers for burst ingest, reused across deliveries.
     batch_pkts: Vec<DataPacket>,
     batch_meta: Vec<DataMeta>,
@@ -58,10 +71,61 @@ impl AskSwitch {
             routes: std::collections::HashMap::new(),
             unroutable: 0,
             undecodable: 0,
+            epoch: 0,
+            stale_epoch_drops: 0,
+            noagg_relayed: 0,
             batch_pkts: Vec::new(),
             batch_meta: Vec::new(),
             batch_verdicts: Vec::new(),
         }
+    }
+
+    /// Crashes and restarts the switch: every register array, match table,
+    /// dedup window, and task region is wiped ([`AggregatorEngine::crash_reset`])
+    /// and the switch comes back in a new epoch, so anything computed
+    /// against the dead incarnation — in-flight verdicts, ACKs, fetch
+    /// replies, sender sequence spaces — is rejected by the epoch gates on
+    /// both sides instead of corrupting the restarted state.
+    pub fn crash(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.engine.crash_reset();
+        self.batch_pkts.clear();
+        self.batch_meta.clear();
+        self.batch_verdicts.clear();
+    }
+
+    /// The switch's current incarnation number.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Ingress frames dropped because they carried an older epoch.
+    pub fn stale_epoch_drops(&self) -> u64 {
+        self.stale_epoch_drops
+    }
+
+    /// Data packets that took the degraded no-aggregate pass-through path.
+    pub fn noagg_relayed(&self) -> u64 {
+        self.noagg_relayed
+    }
+
+    /// Epoch gate for one ingress frame: frames from this epoch pass;
+    /// older ones are dropped (packet bodies recycled) and answered with an
+    /// [`ControlMsg::EpochNotify`] so the sender resynchronizes. Returns
+    /// the packet when the frame should be processed.
+    fn epoch_admit(&mut self, src: u32, envelope_epoch: u32, packet: AskPacket, ctx: &mut Context<'_>) -> Option<AskPacket> {
+        if envelope_epoch >= self.epoch {
+            return Some(packet);
+        }
+        self.stale_epoch_drops += 1;
+        match packet {
+            AskPacket::Data(pkt) => self.engine.pool_mut().recycle_slots(pkt.slots),
+            AskPacket::LongKv { entries, .. } => self.engine.pool_mut().recycle_tuples(entries),
+            _ => {}
+        }
+        let notify = AskPacket::Control(ControlMsg::EpochNotify { epoch: self.epoch });
+        self.reply(src, notify, ctx);
+        None
     }
 
     /// Routes frames for destination node `dst` via `next_hop` instead of
@@ -131,7 +195,14 @@ impl AskSwitch {
 
     fn reply(&mut self, dst: u32, packet: AskPacket, ctx: &mut Context<'_>) {
         let me = ctx.me().index() as u32;
-        self.forward_ecn(&Envelope::new(me, dst, packet), false, ctx);
+        let envelope = Envelope {
+            src: me,
+            dst,
+            epoch: self.epoch,
+            flags: 0,
+            packet,
+        };
+        self.forward_ecn(&envelope, false, ctx);
     }
 
     /// Emits the response for one data packet's verdict: nothing for stale,
@@ -158,7 +229,13 @@ impl AskSwitch {
                     self.forward_raw(m.dst, m.payload, m.wire, m.ecn, ctx);
                     residual.slots
                 } else {
-                    let fwd = Envelope::new(m.src, m.dst, AskPacket::Data(residual));
+                    let fwd = Envelope {
+                        src: m.src,
+                        dst: m.dst,
+                        epoch: m.epoch,
+                        flags: m.flags,
+                        packet: AskPacket::Data(residual),
+                    };
                     self.forward_ecn(&fwd, m.ecn, ctx);
                     match fwd.packet {
                         AskPacket::Data(d) => d.slots,
@@ -267,7 +344,8 @@ impl AskSwitch {
                 // Host-to-host control traffic transits the switch.
                 ControlMsg::TaskAnnounce { .. }
                 | ControlMsg::RegionGrant { .. }
-                | ControlMsg::RegionDeny { .. } => {
+                | ControlMsg::RegionDeny { .. }
+                | ControlMsg::EpochNotify { .. } => {
                     self.forward_raw(dst, payload, wire, false, ctx)
                 }
             },
@@ -289,7 +367,16 @@ impl Node for AskSwitch {
                 return;
             }
         };
-        let Envelope { src, dst, packet } = envelope;
+        let Envelope {
+            src,
+            dst,
+            epoch,
+            flags,
+            packet,
+        } = envelope;
+        let Some(packet) = self.epoch_admit(src, epoch, packet, ctx) else {
+            return;
+        };
         match packet {
             AskPacket::Data(pkt) => {
                 let m = DataMeta {
@@ -301,12 +388,28 @@ impl Node for AskSwitch {
                     wire,
                     occupied_before: pkt.occupied(),
                     payload,
+                    epoch,
+                    flags,
                 };
-                let verdict = self.engine.process_data(pkt);
+                let verdict = if flags & FLAG_NO_AGGREGATE != 0 {
+                    // Degraded pass-through: the dedup gate still runs so
+                    // absorbed-but-unacked packets can't double-count, but
+                    // nothing is aggregated — the receiver does all the work.
+                    self.noagg_relayed += 1;
+                    self.engine.process_data_no_aggregate(pkt)
+                } else {
+                    self.engine.process_data(pkt)
+                };
                 self.emit_data_verdict(verdict, m, ctx);
             }
             other => self.handle_nondata(src, dst, other, payload, ecn, wire, ctx),
         }
+    }
+
+    /// A restart after a scheduled node-down window is a crash/recovery
+    /// cycle: the data plane comes back empty in a fresh epoch.
+    fn on_restart(&mut self, _ctx: &mut Context<'_>) {
+        self.crash();
     }
 
     /// Burst ingest: consecutive data packets in a delivery burst are run
@@ -330,9 +433,18 @@ impl Node for AskSwitch {
                     continue;
                 }
             };
-            let Envelope { src, dst, packet } = envelope;
+            let Envelope {
+                src,
+                dst,
+                epoch,
+                flags,
+                packet,
+            } = envelope;
+            let Some(packet) = self.epoch_admit(src, epoch, packet, ctx) else {
+                continue;
+            };
             match packet {
-                AskPacket::Data(pkt) => {
+                AskPacket::Data(pkt) if flags & FLAG_NO_AGGREGATE == 0 => {
                     meta.push(DataMeta {
                         src,
                         dst,
@@ -342,8 +454,31 @@ impl Node for AskSwitch {
                         wire,
                         occupied_before: pkt.occupied(),
                         payload,
+                        epoch,
+                        flags,
                     });
                     pkts.push(pkt);
+                }
+                AskPacket::Data(pkt) => {
+                    // Degraded no-aggregate packet: flush the pending batch
+                    // to preserve ordering, then run it through the dedup
+                    // gate individually without aggregation.
+                    self.flush_data_batch(&mut pkts, &mut meta, ctx);
+                    let m = DataMeta {
+                        src,
+                        dst,
+                        channel: pkt.channel,
+                        seq: pkt.seq,
+                        ecn,
+                        wire,
+                        occupied_before: pkt.occupied(),
+                        payload,
+                        epoch,
+                        flags,
+                    };
+                    self.noagg_relayed += 1;
+                    let verdict = self.engine.process_data_no_aggregate(pkt);
+                    self.emit_data_verdict(verdict, m, ctx);
                 }
                 other => {
                     self.flush_data_batch(&mut pkts, &mut meta, ctx);

@@ -123,11 +123,17 @@ mod tests {
         // switch and once on the receiver, and each decode's take is paired
         // with a recycle (verdict emission / residual merge), so after the
         // first packet per pool the free list feeds essentially every take.
-        // The sender's pool is excluded: fig8 materializes the entire
-        // stream up front, so its one bulk packetize runs against a cold
-        // pool by construction (its recycles arrive only with later ACKs).
-        let hits = report.switch_pool_hits + report.receiver.pool_hits;
-        let misses = report.switch_pool_misses + report.receiver.pool_misses;
+        // Senders count too: packetization is lazy (PendingStream), each
+        // packet's slot vector is taken from the pool at send time, so once
+        // ACKs start recycling in-flight bodies the sender path also runs
+        // from the free list — only the initial windows' worth of takes can
+        // miss.
+        let hits = report.switch_pool_hits
+            + report.receiver.pool_hits
+            + report.senders.iter().map(|s| s.pool_hits).sum::<u64>();
+        let misses = report.switch_pool_misses
+            + report.receiver.pool_misses
+            + report.senders.iter().map(|s| s.pool_misses).sum::<u64>();
         let rate = hits as f64 / (hits + misses).max(1) as f64;
         assert!(
             rate > 0.90,

@@ -29,5 +29,5 @@ pub mod scenario;
 pub mod sweep;
 
 pub use invariants::InvariantReport;
-pub use scenario::{FaultSpec, RunReport, Scenario};
-pub use sweep::{run_sweep, GridPoint, SweepConfig};
+pub use scenario::{CrashSpec, FaultSpec, RunReport, Scenario};
+pub use sweep::{run_crash_sweep, run_sweep, CrashGridPoint, GridPoint, SweepConfig};

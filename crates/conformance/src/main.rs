@@ -7,7 +7,7 @@
 //!
 //! Exits non-zero when any invariant is violated, so CI can gate on it.
 
-use conformance::sweep::{point_seed, run_sweep};
+use conformance::sweep::{run_crash_sweep, run_sweep};
 use conformance::SweepConfig;
 use std::process::ExitCode;
 
@@ -17,8 +17,8 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
         _ => {
-            eprintln!("usage: conformance sweep [--quick|--full] [--seed N]");
-            eprintln!("       conformance repro --seed N --point i,j,k");
+            eprintln!("usage: conformance sweep [--quick|--full] [--crash] [--seed N]");
+            eprintln!("       conformance repro [--crash] --seed N --point i,j,k");
             ExitCode::from(2)
         }
     }
@@ -27,11 +27,13 @@ fn main() -> ExitCode {
 fn cmd_sweep(args: &[String]) -> ExitCode {
     let mut quick = true;
     let mut seed = 1u64;
+    let mut crash = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--crash" => crash = true,
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => return usage_error("--seed needs an integer"),
@@ -44,7 +46,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     } else {
         SweepConfig::full(seed)
     };
-    let report = run_sweep(config);
+    let report = if crash {
+        run_crash_sweep(config)
+    } else {
+        run_sweep(config)
+    };
     print!("{}", report.text);
     if report.ok() {
         ExitCode::SUCCESS
@@ -56,11 +62,13 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
 fn cmd_repro(args: &[String]) -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut point: Option<(usize, usize, usize)> = None;
+    let mut crash = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => seed = it.next().and_then(|s| s.parse().ok()),
             "--point" => point = it.next().and_then(|s| parse_point(s)),
+            "--crash" => crash = true,
             other => return usage_error(&format!("unknown repro flag {other}")),
         }
     }
@@ -69,18 +77,26 @@ fn cmd_repro(args: &[String]) -> ExitCode {
     };
     // Look the point up in whichever grid contains it: the quick grid is
     // not a prefix of the full one, so try both, quick first.
-    let grid_point = SweepConfig::quick(seed)
-        .point(ix)
-        .or_else(|| SweepConfig::full(seed).point(ix));
-    let Some(grid_point) = grid_point else {
-        return usage_error(&format!("point {ix:?} is outside both grids"));
+    let scenario = if crash {
+        let grid_point = SweepConfig::quick(seed)
+            .crash_point(ix)
+            .or_else(|| SweepConfig::full(seed).crash_point(ix));
+        let Some(grid_point) = grid_point else {
+            return usage_error(&format!("point {ix:?} is outside both crash grids"));
+        };
+        grid_point.scenario(seed)
+    } else {
+        let grid_point = SweepConfig::quick(seed)
+            .point(ix)
+            .or_else(|| SweepConfig::full(seed).point(ix));
+        let Some(grid_point) = grid_point else {
+            return usage_error(&format!("point {ix:?} is outside both grids"));
+        };
+        grid_point.scenario(seed)
     };
-    let scenario = grid_point.scenario(seed);
     println!(
-        "repro: sweep seed {} point {:?} -> scenario seed {}",
-        seed,
-        ix,
-        point_seed(seed, ix),
+        "repro: sweep seed {} point {:?} (crash={}) -> scenario seed {}",
+        seed, ix, crash, scenario.seed,
     );
     println!("{scenario:#?}");
     let report = scenario.run();

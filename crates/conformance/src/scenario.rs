@@ -6,7 +6,7 @@ use ask::config::AskConfig;
 use ask::service::{reference_aggregate_op, AskService, AskServiceBuilder};
 use ask_simnet::faults::FaultModel;
 use ask_simnet::link::LinkConfig;
-use ask_simnet::time::SimDuration;
+use ask_simnet::time::{SimDuration, SimTime};
 use ask_wire::key::Key;
 use ask_wire::packet::{AggregateOp, KvTuple, TaskId};
 use rand::rngs::StdRng;
@@ -61,6 +61,24 @@ impl FaultSpec {
     }
 }
 
+/// A switch outage injected mid-run.
+///
+/// The crash instant is specified as a fraction of the *fault-free*
+/// completion time: the scenario first runs once without the outage to
+/// measure it, then reruns from scratch with the switch scheduled down at
+/// `down_at_permille`‰ of that time for `outage_us` microseconds. Phrasing
+/// the instant relative to the clean run keeps the crash axis meaningful
+/// across workload sizes and seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Crash instant in thousandths of the fault-free completion time
+    /// (0 = immediately, 999 = just before the finish line).
+    pub down_at_permille: u32,
+    /// Outage length in microseconds. Must exceed any reorder jitter so
+    /// delayed old-epoch frames land after the restart, not during it.
+    pub outage_us: u64,
+}
+
 /// One fully-specified conformance scenario. Everything — workload, faults,
 /// chaos — derives deterministically from the fields, so a failing run is
 /// reproducible from the printed scenario alone.
@@ -96,6 +114,9 @@ pub struct Scenario {
     pub region_aggregators: usize,
     /// Restart every daemon mid-run from crash-consistent state.
     pub restart_mid_run: bool,
+    /// Crash-restart the switch mid-run (wipes every register array and
+    /// bumps the epoch); `None` leaves the switch up for the whole run.
+    pub crash: Option<CrashSpec>,
 }
 
 impl Scenario {
@@ -118,6 +139,7 @@ impl Scenario {
             swap_threshold: 16,
             region_aggregators: 32,
             restart_mid_run: false,
+            crash: None,
         }
     }
 
@@ -161,7 +183,30 @@ impl Scenario {
     }
 
     /// Runs the scenario end to end and checks every invariant.
+    ///
+    /// With a [`CrashSpec`] this is a two-pass run: a fault-free-of-crash
+    /// pass measures the completion time, then the real pass schedules the
+    /// outage at the requested fraction of it. The final per-key result
+    /// must equal the oracle either way.
     pub fn run(&self) -> RunReport {
+        let Some(crash) = self.crash else {
+            return self.run_with_outage(None);
+        };
+        let mut clean = self.clone();
+        clean.crash = None;
+        let clean_report = clean.run_with_outage(None);
+        let Some(t) = clean_report.completed_at_ns else {
+            // The crash-free baseline already fails; report that directly
+            // rather than crashing a run that never completes.
+            return clean_report;
+        };
+        let down =
+            SimTime::from_nanos((t.saturating_mul(crash.down_at_permille as u64) / 1000).max(1));
+        let up = down + SimDuration::from_micros(crash.outage_us);
+        self.run_with_outage(Some((down, up)))
+    }
+
+    fn run_with_outage(&self, outage: Option<(SimTime, SimTime)>) -> RunReport {
         let task = TaskId(7);
         let hosts_needed = self.senders + 1;
         let link = LinkConfig::new(100e9, SimDuration::from_micros(1))
@@ -194,6 +239,10 @@ impl Scenario {
         }
         let expected = reference_aggregate_op(all_tuples.iter().cloned(), self.op);
 
+        if let Some((down, up)) = outage {
+            service.schedule_switch_outage(down, up);
+        }
+
         if self.restart_mid_run {
             // Let the protocol get airborne, then crash-restart every
             // daemon (index order, deterministic) and resume.
@@ -214,8 +263,7 @@ impl Scenario {
             }
         };
         violations.extend(
-            invariants::check(&service, task, receiver, &expected)
-                .violations,
+            invariants::check(&service, task, receiver, &expected, outage.is_some()).violations,
         );
 
         let sw = service.switch_stats(task).unwrap_or_default();
@@ -235,6 +283,9 @@ impl Scenario {
             switch_aggregation_permille: (sw.tuples_aggregated * 1000)
                 .checked_div(eligible)
                 .unwrap_or(0),
+            switch_epoch: service.switch_epoch(),
+            stale_epoch_drops: service.switch_ref().stale_epoch_drops()
+                + host.stale_epoch_drops,
         }
     }
 }
@@ -259,6 +310,10 @@ pub struct RunReport {
     pub tuples_host_aggregated: u64,
     /// Switch aggregation ratio over eligible tuples, in permille.
     pub switch_aggregation_permille: u64,
+    /// Switch incarnation at end of run (0 = never crashed).
+    pub switch_epoch: u32,
+    /// Old-epoch frames rejected across the switch and every host.
+    pub stale_epoch_drops: u64,
 }
 
 impl RunReport {

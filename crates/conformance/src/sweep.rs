@@ -9,7 +9,7 @@
 //! cargo run -p conformance -- repro --seed <seed> --point <i,j,k>
 //! ```
 
-use crate::scenario::{FaultSpec, RunReport, Scenario};
+use crate::scenario::{CrashSpec, FaultSpec, RunReport, Scenario};
 use std::fmt::Write as _;
 
 /// Loss-probability axis (index `i`).
@@ -23,6 +23,17 @@ const DUP_FULL: &[f64] = &[0.0, 0.1, 0.3];
 /// Reorder axis (index `k`): `(probability, jitter in µs)`.
 const REORDER_QUICK: &[(f64, u64)] = &[(0.0, 0), (0.5, 10)];
 const REORDER_FULL: &[(f64, u64)] = &[(0.0, 0), (0.3, 5), (0.8, 20)];
+
+/// Crash-sweep axes: loss (index `i`), reorder (index `j`), and crash
+/// instant in permille of the clean completion time (index `k`). The
+/// outage is fixed well above the reorder jitter bound so delayed
+/// old-epoch frames always land on the restarted switch.
+const CRASH_LOSS_QUICK: &[f64] = &[0.0, 0.2];
+const CRASH_LOSS_FULL: &[f64] = &[0.0, 0.05, 0.2];
+const CRASH_REORDER: &[(f64, u64)] = &[(0.0, 0), (0.5, 10)];
+const CRASH_PERMILLE_QUICK: &[u32] = &[250, 600, 900];
+const CRASH_PERMILLE_FULL: &[u32] = &[100, 350, 600, 850, 990];
+const CRASH_OUTAGE_US: u64 = 50;
 
 /// Sweep shape: seed plus grid resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +101,62 @@ impl SweepConfig {
             },
         })
     }
+
+    fn crash_axes(&self) -> (&'static [f64], &'static [(f64, u64)], &'static [u32]) {
+        if self.quick {
+            (CRASH_LOSS_QUICK, CRASH_REORDER, CRASH_PERMILLE_QUICK)
+        } else {
+            (CRASH_LOSS_FULL, CRASH_REORDER, CRASH_PERMILLE_FULL)
+        }
+    }
+
+    /// All points of the crash sweep's loss × reorder × crash-instant grid,
+    /// in row-major `(i, j, k)` order.
+    pub fn crash_grid(&self) -> Vec<CrashGridPoint> {
+        let (loss, reorder, permille) = self.crash_axes();
+        let mut points = Vec::with_capacity(loss.len() * reorder.len() * permille.len());
+        for (i, &l) in loss.iter().enumerate() {
+            for (j, &(r, jit)) in reorder.iter().enumerate() {
+                for (k, &p) in permille.iter().enumerate() {
+                    points.push(CrashGridPoint {
+                        ix: (i, j, k),
+                        faults: FaultSpec {
+                            loss: l,
+                            duplication: 0.0,
+                            reorder: r,
+                            reorder_jitter_us: jit,
+                            corruption: 0.0,
+                        },
+                        crash: CrashSpec {
+                            down_at_permille: p,
+                            outage_us: CRASH_OUTAGE_US,
+                        },
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    /// The crash-grid point at `(i, j, k)`, if within this sweep's grid.
+    pub fn crash_point(&self, ix: (usize, usize, usize)) -> Option<CrashGridPoint> {
+        let (loss, reorder, permille) = self.crash_axes();
+        let (&l, &(r, jit), &p) = (loss.get(ix.0)?, reorder.get(ix.1)?, permille.get(ix.2)?);
+        Some(CrashGridPoint {
+            ix,
+            faults: FaultSpec {
+                loss: l,
+                duplication: 0.0,
+                reorder: r,
+                reorder_jitter_us: jit,
+                corruption: 0.0,
+            },
+            crash: CrashSpec {
+                down_at_permille: p,
+                outage_us: CRASH_OUTAGE_US,
+            },
+        })
+    }
 }
 
 /// One cell of the chaos grid.
@@ -110,6 +177,31 @@ impl GridPoint {
         // the same workload/timing at every grid point.
         s.fault_seed = Some(splitmix64(seed ^ 0x5bd1_e995));
         s.faults = self.faults;
+        s
+    }
+}
+
+/// One cell of the crash grid: a fault model plus a crash instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashGridPoint {
+    /// Grid indices `(loss, reorder, crash-instant)` — the repro coordinates.
+    pub ix: (usize, usize, usize),
+    /// The fault model this cell injects.
+    pub faults: FaultSpec,
+    /// The switch outage this cell injects.
+    pub crash: CrashSpec,
+}
+
+impl CrashGridPoint {
+    /// The fully-specified scenario this point runs under `base_seed`.
+    /// Seeds are salted differently from the fault grid's, so the two
+    /// sweeps never share a scenario seed.
+    pub fn scenario(&self, base_seed: u64) -> Scenario {
+        let seed = point_seed(base_seed ^ 0xc4a5_0c8a_11e0_u64, self.ix);
+        let mut s = Scenario::base(seed);
+        s.fault_seed = Some(splitmix64(seed ^ 0x5bd1_e995));
+        s.faults = self.faults;
+        s.crash = Some(self.crash);
         s
     }
 }
@@ -168,6 +260,45 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
     }
 }
 
+/// Runs every point of `config`'s crash grid and renders the deterministic
+/// report: the same scenario re-run with a switch outage at each crash
+/// instant, with epoch and stale-drop counters in every line.
+pub fn run_crash_sweep(config: SweepConfig) -> SweepReport {
+    let grid = config.crash_grid();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "conformance crash sweep: seed={} grid={} ({} points, outage={}us)",
+        config.seed,
+        if config.quick { "quick" } else { "full" },
+        grid.len(),
+        CRASH_OUTAGE_US,
+    );
+    let mut failures = 0;
+    for point in &grid {
+        let report = point.scenario(config.seed).run();
+        let _ = writeln!(text, "{}", render_crash_point(config.seed, point, &report));
+        if !report.ok() {
+            failures += 1;
+            for v in &report.violations {
+                let _ = writeln!(text, "    violation: {v}");
+            }
+        }
+    }
+    let _ = writeln!(
+        text,
+        "result: {} ({} of {} points failed)",
+        if failures == 0 { "PASS" } else { "FAIL" },
+        failures,
+        grid.len(),
+    );
+    SweepReport {
+        text,
+        points: grid.len(),
+        failures,
+    }
+}
+
 /// One report line for a grid point; stable formatting, integers only
 /// except the grid's own fixed fault probabilities.
 fn render_point(base_seed: u64, point: &GridPoint, report: &RunReport) -> String {
@@ -185,6 +316,28 @@ fn render_point(base_seed: u64, point: &GridPoint, report: &RunReport) -> String
         report.packets_sent,
         report.retransmissions,
         report.duplicates_detected,
+        report.switch_aggregation_permille,
+    )
+}
+
+/// One crash-sweep report line: grid coordinates, fault mix, crash instant,
+/// verdict, and the recovery counters.
+fn render_crash_point(base_seed: u64, point: &CrashGridPoint, report: &RunReport) -> String {
+    let (i, j, k) = point.ix;
+    let f = &point.faults;
+    format!(
+        "point {i},{j},{k} seed={} loss={:.2} reorder={:.2}/{}us crash={}permille : {} \
+         sent={} retx={} epoch={} stale={} sw_permille={}",
+        base_seed,
+        f.loss,
+        f.reorder,
+        f.reorder_jitter_us,
+        point.crash.down_at_permille,
+        if report.ok() { "OK" } else { "FAIL" },
+        report.packets_sent,
+        report.retransmissions,
+        report.switch_epoch,
+        report.stale_epoch_drops,
         report.switch_aggregation_permille,
     )
 }
@@ -221,6 +374,20 @@ mod tests {
             assert_eq!(cfg.point(p.ix), Some(p));
         }
         assert_eq!(cfg.point((99, 0, 0)), None);
+    }
+
+    #[test]
+    fn crash_grid_shape_and_lookup() {
+        assert_eq!(SweepConfig::quick(1).crash_grid().len(), 12);
+        assert_eq!(SweepConfig::full(1).crash_grid().len(), 30);
+        let cfg = SweepConfig::quick(9);
+        for p in cfg.crash_grid() {
+            assert_eq!(cfg.crash_point(p.ix), Some(p));
+            // Every point's outage must exceed its reorder jitter bound, or
+            // delayed old-epoch frames could land while the switch is down.
+            assert!(p.crash.outage_us > p.faults.reorder_jitter_us);
+        }
+        assert_eq!(cfg.crash_point((0, 0, 99)), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! checker. Every generated case must conform.
 
 use ask_wire::packet::AggregateOp;
-use conformance::{FaultSpec, Scenario};
+use conformance::{CrashSpec, FaultSpec, Scenario};
 use proptest::prelude::*;
 
 fn op_strategy() -> impl Strategy<Value = AggregateOp> {
@@ -61,11 +61,47 @@ proptest! {
             swap_threshold,
             region_aggregators: 32,
             restart_mid_run: restart,
+            crash: None,
         };
         let report = scenario.run();
         prop_assert!(
             report.ok(),
             "scenario {:?} violated invariants: {:?}",
+            scenario,
+            report.violations
+        );
+    }
+
+    /// SUM/MAX/MIN conservation holds for every random crash instant
+    /// crossed with loss and reorder: the switch dies somewhere between 0
+    /// and 99.9% of the clean runtime, loses all state, and the delivered
+    /// aggregate must still equal the oracle's exactly.
+    #[test]
+    fn prop_crash_conservation(
+        seed in any::<u64>(),
+        senders in 1usize..4,
+        op in op_strategy(),
+        loss_permille in 0u64..200,
+        reorder_permille in 0u64..500,
+        down_at_permille in 0u32..1000,
+        outage_us in 30u64..400,
+    ) {
+        let mut scenario = Scenario::base(seed);
+        scenario.senders = senders;
+        scenario.tuples_per_sender = 150;
+        scenario.op = op;
+        scenario.faults = FaultSpec {
+            loss: loss_permille as f64 / 1000.0,
+            duplication: 0.0,
+            reorder: reorder_permille as f64 / 1000.0,
+            reorder_jitter_us: 10,
+            corruption: 0.0,
+        };
+        scenario.crash = Some(CrashSpec { down_at_permille, outage_us });
+        let report = scenario.run();
+        prop_assert!(
+            report.ok(),
+            "crash scenario {:?} violated invariants: {:?}",
             scenario,
             report.violations
         );

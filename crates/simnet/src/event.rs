@@ -48,6 +48,10 @@ pub(crate) enum EventKind {
     },
     /// A timer set by `node` fires with an opaque `token`.
     Timer { node: NodeId, token: u64 },
+    /// Scheduled fault: `node` crashes and stops processing events.
+    NodeDown { node: NodeId },
+    /// Scheduled fault: `node` restarts and resumes processing events.
+    NodeUp { node: NodeId },
 }
 
 #[derive(Debug)]

@@ -40,6 +40,14 @@ pub trait Node: Any {
 
     /// Called when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {}
+
+    /// Called when the node comes back up after a scheduled outage
+    /// ([`Network::schedule_node_down`] / [`Network::schedule_node_up`]).
+    ///
+    /// The implementation must discard whatever volatile state the crash
+    /// wiped before processing any further events; the default keeps
+    /// everything (a restart-transparent node).
+    fn on_restart(&mut self, _ctx: &mut Context<'_>) {}
 }
 
 /// What ultimately happened to one frame offered to a link — the captured
@@ -136,6 +144,10 @@ struct Engine {
     fault_rng: StdRng,
     events_processed: u64,
     trace: Option<FrameTrace>,
+    /// Per-node outage flags: a down node receives neither frames nor
+    /// timers (both are consumed and dropped at dispatch time, exactly as a
+    /// crashed machine loses what was addressed to it).
+    down: Vec<bool>,
 }
 
 impl Engine {
@@ -412,6 +424,7 @@ impl NetworkBuilder {
             entry.map.resize(off + 1, LINK_NONE);
             entry.map[off] = ix;
         }
+        let node_count = self.nodes.len();
         Network {
             nodes: self.nodes,
             engine: Engine {
@@ -423,6 +436,7 @@ impl NetworkBuilder {
                 fault_rng: StdRng::seed_from_u64(self.fault_seed.unwrap_or(self.seed)),
                 events_processed: 0,
                 trace: None,
+                down: vec![false; node_count],
             },
             started: false,
             burst_buf: Vec::new(),
@@ -572,6 +586,35 @@ impl Network {
         out
     }
 
+    /// Schedules `node` to crash at absolute simulated time `at`: from that
+    /// instant until a matching [`Network::schedule_node_up`], every frame
+    /// and timer addressed to it is silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is unknown.
+    pub fn schedule_node_down(&mut self, node: NodeId, at: SimTime) {
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        self.engine.queue.push(at, EventKind::NodeDown { node });
+    }
+
+    /// Schedules `node` to restart at absolute simulated time `at`. The
+    /// node's [`Node::on_restart`] hook runs before it processes any
+    /// further events, so it can discard crash-lost state first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is unknown.
+    pub fn schedule_node_up(&mut self, node: NodeId, at: SimTime) {
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        self.engine.queue.push(at, EventKind::NodeUp { node });
+    }
+
+    /// Whether `node` is currently inside a scheduled outage.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.engine.down[node.index()]
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -626,6 +669,14 @@ impl Network {
             self.engine.events_processed += 1;
             match event.kind {
                 EventKind::Deliver { from, to, frame } => {
+                    if self.engine.down[to.index()] {
+                        // The destination is down: the frame vanishes at
+                        // delivery (a crashed NIC receives nothing). Any
+                        // same-instant burst mates are popped and dropped by
+                        // the following loop iterations one by one, so event
+                        // accounting matches the up-node path exactly.
+                        continue;
+                    }
                     burst.clear();
                     burst.push((from, frame));
                     // Extend the burst with adjacent same-instant deliveries
@@ -655,6 +706,9 @@ impl Network {
                     self.nodes[to.index()] = Some(node);
                 }
                 EventKind::Timer { node: id, token } => {
+                    if self.engine.down[id.index()] {
+                        continue; // a crashed node's timers die with it
+                    }
                     let mut node = self.nodes[id.index()].take().expect("node present");
                     let mut ctx = Context {
                         engine: &mut self.engine,
@@ -662,6 +716,20 @@ impl Network {
                     };
                     node.on_timer(token, &mut ctx);
                     self.nodes[id.index()] = Some(node);
+                }
+                EventKind::NodeDown { node } => {
+                    self.engine.down[node.index()] = true;
+                }
+                EventKind::NodeUp { node } => {
+                    self.engine.down[node.index()] = false;
+                    let mut node_box =
+                        self.nodes[node.index()].take().expect("node present");
+                    let mut ctx = Context {
+                        engine: &mut self.engine,
+                        me: node,
+                    };
+                    node_box.on_restart(&mut ctx);
+                    self.nodes[node.index()] = Some(node_box);
                 }
             }
         };
@@ -1037,6 +1105,65 @@ mod tests {
             "the topology must actually exercise multi-frame bursts, got {:?}",
             &hub.bursts[..hub.bursts.len().min(10)]
         );
+    }
+
+    #[test]
+    fn scheduled_outage_drops_frames_and_timers_then_restarts() {
+        // An echo node goes down mid-run: frames and timers addressed to it
+        // during the outage vanish, its restart hook fires exactly once, and
+        // frames sent after the restart are served normally.
+        struct CrashyEcho {
+            restarts: usize,
+            timers: usize,
+        }
+        impl Node for CrashyEcho {
+            fn on_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+                ctx.send(from, frame).expect("linked");
+            }
+            fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {
+                self.timers += 1;
+            }
+            fn on_restart(&mut self, _ctx: &mut Context<'_>) {
+                self.restarts += 1;
+            }
+        }
+        let mut b = NetworkBuilder::new(0);
+        let echo = b.add_node(CrashyEcho {
+            restarts: 0,
+            timers: 0,
+        });
+        let ping = b.add_node(pinger(Some(echo), 0));
+        b.connect(ping, echo, LinkConfig::new(8e9, SimDuration::from_nanos(100)));
+        let mut net = b.build();
+        // A timer the echo arms before the crash, firing during the outage.
+        net.with_node::<CrashyEcho, _>(echo, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_micros(5), 1);
+        });
+        net.schedule_node_down(echo, SimTime::from_nanos(1_000));
+        net.schedule_node_up(echo, SimTime::from_nanos(10_000));
+        // Sent while up: echoed. Sent during the outage: dropped.
+        net.with_node::<Pinger, _>(ping, |_p, ctx| {
+            ctx.send(echo, Frame::new(Bytes::from_static(b"pre")))
+                .expect("linked");
+        });
+        net.run(Some(SimTime::from_nanos(2_000)), None);
+        assert!(net.node_is_down(echo));
+        net.with_node::<Pinger, _>(ping, |_p, ctx| {
+            ctx.send(echo, Frame::new(Bytes::from_static(b"mid")))
+                .expect("linked");
+        });
+        net.run_to_idle();
+        assert!(!net.node_is_down(echo));
+        net.with_node::<Pinger, _>(ping, |_p, ctx| {
+            ctx.send(echo, Frame::new(Bytes::from_static(b"post")))
+                .expect("linked");
+        });
+        net.run_to_idle();
+        let e: &CrashyEcho = net.node(echo);
+        assert_eq!(e.restarts, 1, "restart hook fires once");
+        assert_eq!(e.timers, 0, "outage swallowed the pending timer");
+        // pre + post echoed, mid dropped.
+        assert_eq!(net.node::<Pinger>(ping).echoes, 2);
     }
 
     #[test]

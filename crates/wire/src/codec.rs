@@ -33,6 +33,15 @@ const CTRL_REGION_GRANT: u8 = 1;
 const CTRL_REGION_DENY: u8 = 2;
 const CTRL_REGION_RELEASE: u8 = 3;
 const CTRL_TASK_ANNOUNCE: u8 = 4;
+const CTRL_EPOCH_NOTIFY: u8 = 5;
+
+/// Envelope header length: checksum, source, destination, epoch, flags.
+pub const ENVELOPE_HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 1;
+
+/// Envelope flag bit: the carried data packet must not be aggregated by the
+/// switch — relay it to the destination unchanged (degraded pass-through
+/// while the switch is recovering from a crash).
+pub const FLAG_NO_AGGREGATE: u8 = 0b1;
 
 /// Error decoding a byte buffer into an [`AskPacket`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +125,7 @@ pub fn encoded_size(packet: &AskPacket, layout: &PacketLayout) -> usize {
             ControlMsg::RegionGrant { .. } => 2 + 4 + 8,
             ControlMsg::RegionDeny { .. } | ControlMsg::RegionRelease { .. } => 2 + 4,
             ControlMsg::TaskAnnounce { .. } => 2 + 4 + 4,
+            ControlMsg::EpochNotify { .. } => 2 + 4,
         },
     }
 }
@@ -259,6 +269,10 @@ pub fn encode_into(buf: &mut BytesMut, packet: &AskPacket, layout: &PacketLayout
                     buf.put_u8(CTRL_TASK_ANNOUNCE);
                     buf.put_u32(task.0);
                     buf.put_u32(*receiver);
+                }
+                ControlMsg::EpochNotify { epoch } => {
+                    buf.put_u8(CTRL_EPOCH_NOTIFY);
+                    buf.put_u32(*epoch);
                 }
             }
         }
@@ -477,6 +491,12 @@ fn decode_inner(
                         receiver: buf.get_u32(),
                     }))
                 }
+                CTRL_EPOCH_NOTIFY => {
+                    need(buf, 4)?;
+                    Ok(AskPacket::Control(ControlMsg::EpochNotify {
+                        epoch: buf.get_u32(),
+                    }))
+                }
                 other => Err(CodecError::BadControlKind(other)),
             }
         }
@@ -495,14 +515,28 @@ pub struct Envelope {
     pub src: u32,
     /// Destination node index.
     pub dst: u32,
+    /// Switch epoch the frame was stamped with. Bumped by every
+    /// switch crash-restart; frames from an older epoch are stale and must
+    /// be dropped, not processed (their reliability state died with the
+    /// crash). `0` is the boot epoch, so crash-free runs never see a
+    /// mismatch.
+    pub epoch: u32,
+    /// Envelope flag bits (see [`FLAG_NO_AGGREGATE`]).
+    pub flags: u8,
     /// The carried packet.
     pub packet: AskPacket,
 }
 
 impl Envelope {
-    /// Convenience constructor.
+    /// Convenience constructor (boot epoch, no flags).
     pub fn new(src: u32, dst: u32, packet: AskPacket) -> Self {
-        Envelope { src, dst, packet }
+        Envelope {
+            src,
+            dst,
+            epoch: 0,
+            flags: 0,
+            packet,
+        }
     }
 
     /// Nominal wire bytes (addressing is part of the 78-byte overhead).
@@ -577,14 +611,21 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 ///
 /// Same conditions as [`encode`].
 pub fn encode_envelope(envelope: &Envelope, layout: &PacketLayout) -> Bytes {
-    encode_envelope_parts(envelope.src, envelope.dst, &envelope.packet, layout)
+    encode_envelope_parts(
+        envelope.src,
+        envelope.dst,
+        envelope.epoch,
+        envelope.flags,
+        &envelope.packet,
+        layout,
+    )
 }
 
 /// [`encode_envelope`] without requiring an [`Envelope`] to be built first,
 /// so senders can serialize a packet they still own. The whole envelope is
-/// written into a single exactly-sized buffer: the 12-byte header first,
-/// the body directly behind it, then the checksum patched in — no separate
-/// body allocation or copy.
+/// written into a single exactly-sized buffer: the header first, the body
+/// directly behind it, then the checksum patched in — no separate body
+/// allocation or copy.
 ///
 /// # Panics
 ///
@@ -592,13 +633,17 @@ pub fn encode_envelope(envelope: &Envelope, layout: &PacketLayout) -> Bytes {
 pub fn encode_envelope_parts(
     src: u32,
     dst: u32,
+    epoch: u32,
+    flags: u8,
     packet: &AskPacket,
     layout: &PacketLayout,
 ) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + encoded_size(packet, layout));
+    let mut buf = BytesMut::with_capacity(ENVELOPE_HEADER_BYTES + encoded_size(packet, layout));
     buf.put_u32(0); // checksum placeholder
     buf.put_u32(src);
     buf.put_u32(dst);
+    buf.put_u32(epoch);
+    buf.put_u8(flags);
     encode_into(&mut buf, packet, layout);
     let sum = crc32(&buf[4..]);
     buf[0..4].copy_from_slice(&sum.to_be_bytes());
@@ -613,15 +658,23 @@ pub fn encode_envelope_parts(
 /// [`CodecError::ChecksumMismatch`] for corrupted frames; otherwise the
 /// same conditions as [`decode`].
 pub fn decode_envelope(mut bytes: Bytes) -> Result<Envelope, CodecError> {
-    need(&bytes, 12)?;
+    need(&bytes, ENVELOPE_HEADER_BYTES)?;
     let expected = bytes.get_u32();
     if crc32(&bytes) != expected {
         return Err(CodecError::ChecksumMismatch);
     }
     let src = bytes.get_u32();
     let dst = bytes.get_u32();
+    let epoch = bytes.get_u32();
+    let flags = bytes.get_u8();
     let packet = decode(bytes)?;
-    Ok(Envelope { src, dst, packet })
+    Ok(Envelope {
+        src,
+        dst,
+        epoch,
+        flags,
+        packet,
+    })
 }
 
 /// [`decode_envelope`] drawing packet backing stores from `pool` — the hot
@@ -635,15 +688,23 @@ pub fn decode_envelope_pooled(
     mut bytes: Bytes,
     pool: &mut PacketPool,
 ) -> Result<Envelope, CodecError> {
-    need(&bytes, 12)?;
+    need(&bytes, ENVELOPE_HEADER_BYTES)?;
     let expected = bytes.get_u32();
     if crc32(&bytes) != expected {
         return Err(CodecError::ChecksumMismatch);
     }
     let src = bytes.get_u32();
     let dst = bytes.get_u32();
+    let epoch = bytes.get_u32();
+    let flags = bytes.get_u8();
     let packet = decode_pooled(bytes, pool)?;
-    Ok(Envelope { src, dst, packet })
+    Ok(Envelope {
+        src,
+        dst,
+        epoch,
+        flags,
+        packet,
+    })
 }
 
 fn get_entries(
@@ -767,6 +828,7 @@ mod tests {
                 task: TaskId(7),
                 receiver: 3,
             }),
+            AskPacket::Control(ControlMsg::EpochNotify { epoch: 42 }),
         ];
         for p in &packets {
             roundtrip(p, &layout);
@@ -839,6 +901,7 @@ mod tests {
                 task: TaskId(7),
                 receiver: 3,
             }),
+            AskPacket::Control(ControlMsg::EpochNotify { epoch: 9 }),
         ];
         for p in &packets {
             assert_eq!(
@@ -920,6 +983,19 @@ mod tests {
         let env = Envelope::new(3, 9, AskPacket::Swap { task: TaskId(5) });
         let bytes = encode_envelope(&env, &layout);
         assert_eq!(decode_envelope(bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn envelope_epoch_and_flags_roundtrip() {
+        let layout = PacketLayout::paper_default();
+        let mut env = Envelope::new(1, 2, AskPacket::Swap { task: TaskId(5) });
+        env.epoch = 3;
+        env.flags = FLAG_NO_AGGREGATE;
+        let bytes = encode_envelope(&env, &layout);
+        let back = decode_envelope(bytes).unwrap();
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.flags & FLAG_NO_AGGREGATE, FLAG_NO_AGGREGATE);
+        assert_eq!(back, env);
     }
 
     #[test]

@@ -331,6 +331,13 @@ pub enum ControlMsg {
         /// Raw node index of the receiver host.
         receiver: u32,
     },
+    /// Switch → host: the switch's current epoch. Sent when the switch
+    /// drops a stale-epoch frame after a crash-restart, so the host learns
+    /// the new epoch immediately instead of waiting for its next timeout.
+    EpochNotify {
+        /// The switch's current epoch.
+        epoch: u32,
+    },
 }
 
 /// Every packet the ASK protocol puts on the wire.
@@ -461,6 +468,7 @@ impl fmt::Display for AskPacket {
                 ControlMsg::TaskAnnounce { task, receiver } => {
                     write!(f, "CTRL announce {task} -> n{receiver}")
                 }
+                ControlMsg::EpochNotify { epoch } => write!(f, "CTRL epoch-notify e{epoch}"),
             },
         }
     }

@@ -98,6 +98,226 @@ fn misrouted_data_is_orphaned_and_acked() {
     assert_eq!(result[&Key::from_u64(1)], 1);
 }
 
+// ---------------------------------------------------------------------------
+// Switch-crash matrix: the switch dies at a chosen fraction of the clean
+// run's completion time, loses every register array and dedup window, and
+// comes back in a new epoch. Whatever the crash instant, the per-key result
+// must equal the fault-free run exactly.
+// ---------------------------------------------------------------------------
+
+mod switch_crash {
+    use ask::prelude::*;
+    use ask::service::AskService;
+    use ask_simnet::faults::FaultModel;
+    use ask_simnet::frame::{Frame, NodeId};
+    use ask_simnet::link::LinkConfig;
+    use ask_simnet::time::{SimDuration, SimTime};
+    use std::collections::HashMap;
+
+    const BUDGET: u64 = 50_000_000;
+
+    fn streams() -> Vec<Vec<KvTuple>> {
+        (0..2u64)
+            .map(|s| {
+                (0..150u64)
+                    .map(|i| KvTuple::new(Key::from_u64((s * 37 + i * 5) % 60), (i % 9 + 1) as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Builds the standard crash workload: one receiver, two senders, a
+    /// 60-key SUM stream per sender.
+    fn build(
+        escalate: Option<u32>,
+        link: LinkConfig,
+        seed: u64,
+    ) -> (AskService, Vec<NodeId>, TaskId, HashMap<Key, u32>) {
+        let mut cfg = AskConfig::tiny();
+        cfg.escalate_after = escalate;
+        let mut service = AskServiceBuilder::new(3)
+            .config(cfg)
+            .link(link)
+            .seed(seed)
+            .build();
+        let hosts = service.hosts().to_vec();
+        let task = TaskId(7);
+        let st = streams();
+        let expected = reference_aggregate(st.iter().flatten().cloned());
+        service.submit_task(task, hosts[0], &[hosts[1], hosts[2]]);
+        service.submit_stream(task, hosts[1], st[0].clone());
+        service.submit_stream(task, hosts[2], st[1].clone());
+        (service, hosts, task, expected)
+    }
+
+    fn clean_link() -> LinkConfig {
+        LinkConfig::new(100e9, SimDuration::from_micros(1))
+    }
+
+    /// Completion time of the fault-free golden run (also asserts its
+    /// result, so every crash case compares against a verified baseline).
+    fn clean_completion(seed: u64) -> SimTime {
+        let (mut service, hosts, task, expected) = build(None, clean_link(), seed);
+        let done = service.run_until_complete(task, hosts[0], BUDGET).unwrap();
+        assert_eq!(service.result(task, hosts[0]).unwrap(), expected);
+        done
+    }
+
+    /// Runs the workload with one switch outage starting at `permille`
+    /// thousandths of the clean completion time, then asserts the per-key
+    /// result matches the fault-free run.
+    fn run_with_outage(
+        permille: u64,
+        outage: SimDuration,
+        escalate: Option<u32>,
+        seed: u64,
+    ) -> (AskService, Vec<NodeId>, TaskId) {
+        let t = clean_completion(seed).as_nanos();
+        let (mut service, hosts, task, expected) = build(escalate, clean_link(), seed);
+        let down = SimTime::from_nanos((t * permille / 1000).max(1));
+        service.schedule_switch_outage(down, down + outage);
+        service.run_until_complete(task, hosts[0], BUDGET).unwrap();
+        assert_eq!(
+            service.result(task, hosts[0]).unwrap(),
+            expected,
+            "per-key aggregate must equal the fault-free run (crash at {permille}‰)"
+        );
+        (service, hosts, task)
+    }
+
+    #[test]
+    fn crash_before_first_verdict() {
+        // Down at t=1ns: the switch never sees the region request. The
+        // announce/region retry timers must carry the whole setup through
+        // the restarted epoch.
+        let (mut service, _, _) = run_with_outage(0, SimDuration::from_micros(50), None, 11);
+        service.run_to_idle();
+        assert_eq!(service.switch_epoch(), 1);
+    }
+
+    #[test]
+    fn crash_mid_window() {
+        let (mut service, _, _) = run_with_outage(500, SimDuration::from_micros(50), None, 12);
+        service.run_to_idle();
+        assert_eq!(service.switch_epoch(), 1);
+        assert!(
+            service.switch_ref().stale_epoch_drops() > 0,
+            "old-epoch retransmits must be rejected by the restarted switch"
+        );
+    }
+
+    #[test]
+    fn crash_during_fetch_drain() {
+        // 90% of the clean runtime: shadow-copy swaps and fetch drains are
+        // in flight when the registers vanish.
+        let (mut service, _, _) = run_with_outage(900, SimDuration::from_micros(50), None, 13);
+        service.run_to_idle();
+        assert_eq!(service.switch_epoch(), 1);
+    }
+
+    #[test]
+    fn double_crash_recovers_twice() {
+        let t = clean_completion(14).as_nanos();
+        let (mut service, hosts, task, expected) = build(None, clean_link(), 14);
+        let outage = SimDuration::from_micros(30);
+        let down1 = SimTime::from_nanos((t * 400 / 1000).max(1));
+        service.schedule_switch_outage(down1, down1 + outage);
+        // Run just past the first recovery's start, then pull the rug again
+        // while the replay is in flight.
+        service
+            .network_mut()
+            .run(Some(down1 + outage + outage), None);
+        let down2 = service.now() + SimDuration::from_micros(5);
+        service.schedule_switch_outage(down2, down2 + outage);
+        service.run_until_complete(task, hosts[0], BUDGET).unwrap();
+        assert_eq!(
+            service.result(task, hosts[0]).unwrap(),
+            expected,
+            "double crash must still converge to the fault-free result"
+        );
+        service.run_to_idle();
+        assert_eq!(service.switch_epoch(), 2);
+    }
+
+    #[test]
+    fn long_outage_enters_degraded_mode() {
+        // The outage spans several retransmit timeouts with escalation after
+        // two attempts: senders must flag their windows for degraded
+        // pass-through while the switch is dark, and still converge.
+        let (service, hosts, _) = run_with_outage(400, SimDuration::from_micros(600), Some(2), 15);
+        let degraded: u64 = hosts
+            .iter()
+            .map(|h| service.host_stats(*h).degraded_entries)
+            .sum();
+        assert!(
+            degraded > 0,
+            "a 6xRTO outage with escalate_after=2 must trip degraded mode"
+        );
+    }
+
+    #[test]
+    fn lossy_network_relays_no_aggregate_packets() {
+        // No crash at all: heavy loss plus a hair-trigger escalation
+        // threshold pushes senders into degraded mode, so the switch must
+        // relay flagged packets through the dedup gate without aggregating —
+        // and the result must still be exact.
+        let link = LinkConfig::new(100e9, SimDuration::from_micros(1))
+            .with_faults(FaultModel::reliable().with_loss(0.2));
+        let (mut service, hosts, task, expected) = build(Some(1), link, 16);
+        service.run_until_complete(task, hosts[0], BUDGET).unwrap();
+        assert_eq!(service.result(task, hosts[0]).unwrap(), expected);
+        assert_eq!(service.switch_epoch(), 0, "no crash was injected");
+        assert!(
+            service.switch_ref().noagg_relayed() > 0,
+            "escalated senders must drive the no-aggregate relay path"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_verdict_after_restart_is_dropped() {
+        // Regression for a seeded bug: a pre-crash verdict (an ACK computed
+        // by the dead incarnation) delivered after the restart must be
+        // dropped by the host's epoch gate and counted, not applied.
+        use ask_wire::codec::encode_envelope_parts;
+        use ask_wire::packet::{AskPacket, ChannelId, SeqNo, CHANNEL_STRIDE};
+
+        let (mut service, hosts, _) = run_with_outage(500, SimDuration::from_micros(50), None, 17);
+        service.run_to_idle();
+        assert_eq!(service.daemon(hosts[1]).known_epoch(), 1);
+        let before = service.host_stats(hosts[1]).stale_epoch_drops;
+
+        // Forge an epoch-0 ACK "from the switch" and deliver it to a host
+        // that has already resynchronized to epoch 1.
+        let layout = service.config().layout;
+        let switch = service.switch_id();
+        let stale_ack = AskPacket::Ack {
+            channel: ChannelId(hosts[1].index() as u32 * CHANNEL_STRIDE),
+            seq: SeqNo(0),
+            ece: false,
+        };
+        let bytes = encode_envelope_parts(
+            switch.index() as u32,
+            hosts[1].index() as u32,
+            0,
+            0,
+            &stale_ack,
+            &layout,
+        );
+        let target = hosts[1];
+        service
+            .network_mut()
+            .with_node::<AskSwitch, _>(switch, |_sw, ctx| {
+                let _ = ctx.send(target, Frame::new(bytes.clone()));
+            });
+        service.run_to_idle();
+        assert_eq!(
+            service.host_stats(hosts[1]).stale_epoch_drops,
+            before + 1,
+            "the stale ACK must be dropped and counted, not applied"
+        );
+    }
+}
+
 #[test]
 fn trace_ring_buffer_bounds_memory() {
     let mut cfg = AskConfig::tiny();
