@@ -187,6 +187,13 @@ pub struct AskDaemon {
     degraded: bool,
     /// Retransmission schedule (flat with default config).
     backoff: BackoffPolicy,
+    /// When set, wall time spent classifying and building packets is
+    /// accumulated into `packetize_ns` (the `--timing` phase breakdown).
+    /// Purely observational: never read by the protocol.
+    time_phases: bool,
+    /// `Cell` so the hot send path can add to it while channel state is
+    /// mutably borrowed.
+    packetize_ns: std::cell::Cell<u64>,
 }
 
 impl AskDaemon {
@@ -216,7 +223,22 @@ impl AskDaemon {
             known_epoch: 0,
             degraded: false,
             backoff,
+            time_phases: false,
+            packetize_ns: std::cell::Cell::new(0),
         }
+    }
+
+    /// Turns on packetize-phase wall-time accounting (the `--timing`
+    /// breakdown). Off by default: the hot path must not pay for clock
+    /// reads.
+    pub fn enable_phase_timing(&mut self) {
+        self.time_phases = true;
+    }
+
+    /// Nanoseconds spent classifying and building packets, when
+    /// [`AskDaemon::enable_phase_timing`] was called.
+    pub fn packetize_ns(&self) -> u64 {
+        self.packetize_ns.get()
     }
 
     fn ensure_init(&mut self, ctx: &Context<'_>) {
@@ -577,7 +599,27 @@ impl AskDaemon {
             self.check_completion(task, ctx);
             return;
         }
+        let t0 = self.time_phases.then(std::time::Instant::now);
         let stream = self.packetizer.begin_stream(tuples);
+        // Pre-warm the pool from the stream-size hints. At most a window's
+        // worth of payloads is ever live per channel, so topping the free
+        // lists up to min(stream, W) lets even the *first* window's takes
+        // hit the pool — the bulk-packetize cold spot from the pooled-memory
+        // rework. Steady state is unaffected: recycled vectors already
+        // satisfy the target and the top-up is a no-op.
+        let window = self.config.window;
+        self.pool.prewarm_slots(
+            stream.data_packet_count().min(window),
+            self.packetizer.layout().slot_count(),
+        );
+        self.pool.prewarm_tuples(
+            stream.long_batch_count().min(window),
+            self.config.long_kv_batch,
+        );
+        if let Some(t0) = t0 {
+            self.packetize_ns
+                .set(self.packetize_ns.get() + t0.elapsed().as_nanos() as u64);
+        }
         let ch_ix = (task.0 as usize) % self.channels.len();
         {
             let ch = &mut self.channels[ch_ix];
@@ -628,33 +670,34 @@ impl AskDaemon {
             let (packet, dst, task, gates_fin) = match ch.queue.front_mut() {
                 Some(QueuedItem::Stream { task, dst, stream }) => {
                     let (task, dst) = (*task, *dst);
-                    if let Some(slots) = stream.next_data_payload(&mut self.pool) {
-                        (
-                            AskPacket::Data(DataPacket {
-                                task,
-                                channel,
-                                seq,
-                                slots,
-                            }),
-                            dst,
+                    let t0 = self.time_phases.then(std::time::Instant::now);
+                    let built = if let Some(slots) = stream.next_data_payload(&mut self.pool) {
+                        Some(AskPacket::Data(DataPacket {
                             task,
-                            true,
-                        )
-                    } else if let Some(entries) = stream.next_long_batch(&mut self.pool) {
-                        (
-                            AskPacket::LongKv {
+                            channel,
+                            seq,
+                            slots,
+                        }))
+                    } else {
+                        stream
+                            .next_long_batch(&mut self.pool)
+                            .map(|entries| AskPacket::LongKv {
                                 task,
                                 channel,
                                 seq,
                                 entries,
-                            },
-                            dst,
-                            task,
-                            true,
-                        )
-                    } else {
-                        ch.queue.pop_front();
-                        continue;
+                            })
+                    };
+                    if let Some(t0) = t0 {
+                        self.packetize_ns
+                            .set(self.packetize_ns.get() + t0.elapsed().as_nanos() as u64);
+                    }
+                    match built {
+                        Some(packet) => (packet, dst, task, true),
+                        None => {
+                            ch.queue.pop_front();
+                            continue;
+                        }
                     }
                 }
                 Some(QueuedItem::Fin { task, dst }) => {

@@ -221,6 +221,18 @@ impl PendingStream {
         Some(batch)
     }
 
+    /// Data packets this stream will still emit (the longest slot queue
+    /// decides, since every packet takes one tuple from each non-empty
+    /// queue). A size hint for pre-warming the sender's [`PacketPool`].
+    pub fn data_packet_count(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).max().unwrap_or(0)
+    }
+
+    /// Long-key bypass batches this stream will still emit.
+    pub fn long_batch_count(&self) -> usize {
+        self.long_queue.len().div_ceil(self.long_kv_batch)
+    }
+
     /// True when both the data and long-key portions are drained.
     pub fn is_empty(&self) -> bool {
         self.long_queue.is_empty() && self.queues.iter().all(|q| q.is_empty())

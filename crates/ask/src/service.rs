@@ -252,7 +252,11 @@ impl AskService {
             if let Some(result) = self.network.node::<AskDaemon>(receiver).task_result(task) {
                 return Ok(result.completed_at);
             }
-            match self.network.run(None, Some(max_events.min(100_000))) {
+            // Coarse chunks: `run_chunk` only checks the budget at safe-
+            // window boundaries, which lets the windowed parallel executor
+            // engage. This loop only reads state between chunks, so the
+            // exact pause points are unobservable.
+            match self.network.run_chunk(max_events.min(100_000)) {
                 StopReason::Idle => {
                     return match self.network.node::<AskDaemon>(receiver).task_result(task) {
                         Some(r) => Ok(r.completed_at),
@@ -313,6 +317,71 @@ impl AskService {
     /// Wire/goodput counters of the directed link `switch → host`.
     pub fn downlink_stats(&self, host: NodeId) -> ask_simnet::link::LinkStats {
         self.network.link_stats(self.switch, host)
+    }
+
+    /// Turns on wall-time phase accounting (the `--timing` breakdown).
+    /// Purely observational — simulation behavior and every report stay
+    /// byte-identical — but the clock reads cost real time, so this is off
+    /// by default.
+    pub fn enable_phase_timing(&mut self) {
+        self.network.enable_dispatch_timing();
+        for host in self.hosts.clone() {
+            self.network
+                .node_mut::<AskDaemon>(host)
+                .enable_phase_timing();
+        }
+    }
+
+    /// Wall-time attribution across simulator phases, when
+    /// [`AskService::enable_phase_timing`] was called before running.
+    ///
+    /// `drain` is the run time not spent inside any node handler: event
+    /// queue operations, link/fault modeling, frame delivery, and (in
+    /// windowed-parallel mode) window collection and merge.
+    pub fn phase_timing(&self) -> PhaseTiming {
+        let switch_ns = self.network.dispatch_ns(self.switch);
+        let mut host_dispatch_ns = 0u64;
+        let mut packetize_ns = 0u64;
+        for &host in &self.hosts {
+            host_dispatch_ns += self.network.dispatch_ns(host);
+            packetize_ns += self.network.node::<AskDaemon>(host).packetize_ns();
+        }
+        let total_ns = self.network.run_wall_ns();
+        PhaseTiming {
+            packetize_ns,
+            switch_ns,
+            host_ns: host_dispatch_ns.saturating_sub(packetize_ns),
+            drain_ns: total_ns.saturating_sub(switch_ns + host_dispatch_ns),
+            total_ns,
+        }
+    }
+}
+
+/// Per-phase wall-time breakdown of a run (see
+/// [`AskService::phase_timing`]). All figures are nanoseconds of host wall
+/// time, not simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Classifying tuples and building packet payloads in the senders.
+    pub packetize_ns: u64,
+    /// Switch node dispatch (decode, aggregate, verdicts, fetch drain).
+    pub switch_ns: u64,
+    /// Host daemon dispatch minus the packetize share.
+    pub host_ns: u64,
+    /// Everything outside node handlers: queue ops, links, delivery, merge.
+    pub drain_ns: u64,
+    /// Total wall time spent inside `Network::run`.
+    pub total_ns: u64,
+}
+
+impl PhaseTiming {
+    /// Folds another run's breakdown into this one.
+    pub fn absorb(&mut self, other: &PhaseTiming) {
+        self.packetize_ns += other.packetize_ns;
+        self.switch_ns += other.switch_ns;
+        self.host_ns += other.host_ns;
+        self.drain_ns += other.drain_ns;
+        self.total_ns += other.total_ns;
     }
 }
 

@@ -1,0 +1,87 @@
+//! Measures the bounded-lag windowed executor: the same star-topology
+//! workload run sequentially (`lanes1`) and through the parallel window
+//! machinery at 2 and 4 lanes. On a multi-core box the lane variants
+//! should win once per-window work dominates the merge; on one core they
+//! price the window collection/replay overhead instead. Either way the
+//! event streams are byte-identical — only wall time may differ.
+//!
+//! CI runs this bench in smoke mode (no `--bench` argument) so the
+//! windowed path stays compiled and exercised; full measurements land in
+//! the `micro_*` sections of `BENCH_baseline_committed.json` when the
+//! baseline machine refreshes them.
+
+use ask_simnet::prelude::*;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const LEAVES: usize = 8;
+const FRAMES_PER_LEAF: u64 = 64;
+const GAP_NS: u64 = 700;
+const ECHO_DELAY_NS: u64 = 300; // < 1 µs lookahead: exercises staged timers
+
+/// A leaf that fires frames at the hub on a timer cadence.
+struct Pinger {
+    hub: NodeId,
+    got: u64,
+}
+impl Node for Pinger {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..FRAMES_PER_LEAF {
+            ctx.set_timer(SimDuration::from_nanos(1 + i * GAP_NS), i);
+        }
+    }
+    fn on_frame(&mut self, _: NodeId, _: Frame, _: &mut Context<'_>) {
+        self.got += 1;
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let hub = self.hub;
+        let _ = ctx.send(hub, Frame::new(Bytes::copy_from_slice(&token.to_be_bytes())));
+    }
+}
+
+/// A hub that echoes every frame back after an in-window delay.
+struct EchoHub;
+impl Node for EchoHub {
+    fn on_frame(&mut self, from: NodeId, _: Frame, ctx: &mut Context<'_>) {
+        ctx.set_timer(
+            SimDuration::from_nanos(ECHO_DELAY_NS),
+            from.index() as u64,
+        );
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let to = NodeId::from_index(token as usize);
+        let _ = ctx.send(to, Frame::new(Bytes::from_static(b"echo")));
+    }
+}
+
+/// One full star run at the given lane count; returns the event count so
+/// the work cannot be optimized away.
+fn run_star(lanes: usize) -> u64 {
+    let mut b = NetworkBuilder::new(7);
+    b.set_lanes(lanes);
+    let hub = b.add_node(EchoHub);
+    let link = LinkConfig::new(100e9, SimDuration::from_micros(1));
+    for _ in 0..LEAVES {
+        let leaf = b.add_node(Pinger { hub, got: 0 });
+        b.connect(leaf, hub, link.clone());
+    }
+    let mut net = b.build();
+    net.run_to_idle();
+    net.events_processed()
+}
+
+fn bench_lane_window(c: &mut Criterion) {
+    let events = run_star(1);
+    assert_eq!(events, run_star(4), "lane count must not change the run");
+    let mut group = c.benchmark_group("lane_window");
+    group.throughput(Throughput::Elements(events));
+    for lanes in [1usize, 2, 4] {
+        group.bench_function(&format!("lanes{lanes}") as &str, |bch| {
+            bch.iter(|| run_star(lanes));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_window);
+criterion_main!(benches);

@@ -7,9 +7,18 @@ use ask_bench::baseline::{baseline_path, Baseline};
 use ask_bench::parallel::worker_count;
 
 fn main() {
+    let timing = std::env::args().skip(1).any(|a| a == "--timing");
+    if timing {
+        ask_bench::runners::enable_phase_timing();
+    }
     let scale = ask_bench::Scale::from_env();
     let (report, timings) = ask_bench::run_all_parallel(scale);
     print!("{report}");
+    if timing {
+        // Excluded section: wall times vary run to run, so they are printed
+        // for attribution only and never enter golden/baseline comparisons.
+        println!("\n{}", ask_bench::runners::render_phase_totals());
+    }
 
     let mut baseline = Baseline::new(scale, worker_count(timings.len()));
     for t in &timings {

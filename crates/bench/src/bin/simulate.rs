@@ -32,6 +32,7 @@ struct Args {
     op: AggregateOp,
     seed: u64,
     swap_threshold: u64,
+    timing: bool,
 }
 
 impl Args {
@@ -47,6 +48,7 @@ impl Args {
             op: AggregateOp::Sum,
             seed: 1,
             swap_threshold: 4096,
+            timing: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -63,6 +65,7 @@ impl Args {
                 "--swap-threshold" => {
                     args.swap_threshold = value()?.parse().map_err(|e| format!("{e}"))?
                 }
+                "--timing" => args.timing = true,
                 "--op" => {
                     args.op = match value()?.as_str() {
                         "sum" => AggregateOp::Sum,
@@ -76,7 +79,7 @@ impl Args {
                         "usage: simulate [--senders N] [--tuples N] [--distinct N]\n\
                          \t[--workload uniform|zipf|yelp|NG|BAC|LMDB] [--skew S]\n\
                          \t[--loss P] [--channels N] [--op sum|max|min] [--seed N]\n\
-                         \t[--swap-threshold N]"
+                         \t[--swap-threshold N] [--timing]"
                     );
                     std::process::exit(0);
                 }
@@ -147,6 +150,9 @@ fn main() {
         args.op,
         args.loss * 100.0
     );
+    if args.timing {
+        ask_bench::runners::enable_phase_timing();
+    }
     let wall_start = std::time::Instant::now();
     let report = run_ask(&run, streams);
     let wall = wall_start.elapsed();
@@ -221,6 +227,12 @@ fn main() {
         hist(&report.switch.burst_len),
         hist(&host_bursts),
     );
+
+    if args.timing {
+        // Excluded section: wall times vary run to run, so they are printed
+        // for attribution only and never enter golden/baseline comparisons.
+        println!("\n{}", ask_bench::runners::render_phase_totals());
+    }
 
     let mut baseline = Baseline::new(Scale::from_env(), 1);
     baseline.record("simulate_wall", wall);

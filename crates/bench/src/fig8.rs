@@ -123,11 +123,10 @@ mod tests {
         // switch and once on the receiver, and each decode's take is paired
         // with a recycle (verdict emission / residual merge), so after the
         // first packet per pool the free list feeds essentially every take.
-        // Senders count too: packetization is lazy (PendingStream), each
-        // packet's slot vector is taken from the pool at send time, so once
-        // ACKs start recycling in-flight bodies the sender path also runs
-        // from the free list — only the initial windows' worth of takes can
-        // miss.
+        // Senders count too: packetization is lazy (PendingStream) and the
+        // pool is pre-warmed from the stream-size hints before the first
+        // send, so even the first window's takes come from the free list —
+        // there is no cold start left on the sender path.
         let hits = report.switch_pool_hits
             + report.receiver.pool_hits
             + report.senders.iter().map(|s| s.pool_hits).sum::<u64>();
@@ -138,6 +137,37 @@ mod tests {
         assert!(
             rate > 0.90,
             "pool hit rate {rate:.4} ({hits} hits / {misses} misses)"
+        );
+        // Sender-only view: every packetize take must hit the pre-warmed
+        // free list.
+        let s_hits: u64 = report.senders.iter().map(|s| s.pool_hits).sum();
+        let s_misses: u64 = report.senders.iter().map(|s| s.pool_misses).sum();
+        assert!(s_hits > 0, "senders should draw from their pools");
+        assert_eq!(s_misses, 0, "sender pools are pre-warmed ({s_hits} hits)");
+    }
+
+    #[test]
+    fn sender_pool_is_warm_from_the_first_window() {
+        // A stream barely larger than one send window: there is no steady
+        // state to amortize into, so a >90% sender hit rate here can only
+        // come from the stream-size pre-warm (the PR 4 cold spot).
+        let mut cfg = AskConfig::paper_default();
+        cfg.layout = PacketLayout::short_only(16);
+        cfg.data_channels = 1;
+        cfg.region_aggregators = cfg.aggregators_per_aa;
+        let run_cfg = AskRun {
+            tasks: 1,
+            ..AskRun::paper(cfg)
+        };
+        let stream = uniform_stream(7, 500, 2_000);
+        let report = run_ask(&run_cfg, vec![stream]);
+        let hits: u64 = report.senders.iter().map(|s| s.pool_hits).sum();
+        let misses: u64 = report.senders.iter().map(|s| s.pool_misses).sum();
+        assert!(hits > 0, "the stream must actually packetize");
+        let rate = hits as f64 / (hits + misses) as f64;
+        assert!(
+            rate > 0.90,
+            "first-window sender hit rate {rate:.4} ({hits} hits / {misses} misses)"
         );
     }
 

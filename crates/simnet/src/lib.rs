@@ -138,6 +138,168 @@ mod proptests {
             prop_assert_eq!(net.link_stats(src, sink).frames_delivered, sends.len() as u64);
         }
     }
+
+    /// A leaf that fires `count` frames at the hub on a timer cadence and
+    /// counts the echoes it gets back.
+    struct Pinger {
+        hub: NodeId,
+        count: u64,
+        gap_ns: u64,
+        got: u64,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.count {
+                ctx.set_timer(SimDuration::from_nanos(1 + i * self.gap_ns), i);
+            }
+        }
+        fn on_frame(&mut self, _: NodeId, _: Frame, _: &mut Context<'_>) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+            let hub = self.hub;
+            let _ = ctx.send(hub, Frame::new(Bytes::copy_from_slice(&token.to_be_bytes())));
+        }
+    }
+
+    /// A hub that echoes every frame back after a short in-window delay —
+    /// the staged-timer path the parallel executor must replay exactly.
+    struct EchoHub {
+        delay_ns: u64,
+        echoes: u64,
+    }
+    impl Node for EchoHub {
+        fn on_frame(&mut self, from: NodeId, _: Frame, ctx: &mut Context<'_>) {
+            ctx.set_timer(
+                SimDuration::from_nanos(self.delay_ns),
+                from.index() as u64,
+            );
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+            self.echoes += 1;
+            let to = NodeId::from_index(token as usize);
+            let _ = ctx.send(to, Frame::new(Bytes::from_static(b"echo")));
+        }
+    }
+
+    /// Everything observable about one run of the random star scenario.
+    #[derive(Debug, PartialEq)]
+    struct Observed {
+        trace: Vec<FrameTraceEntry>,
+        events: u64,
+        now: SimTime,
+        echoes: u64,
+        got: Vec<u64>,
+    }
+
+    /// One random loss×reorder×dup×crash scenario on a star topology.
+    #[derive(Debug, Clone)]
+    struct LaneScenario {
+        leaves: usize,
+        count: u64,
+        gap_ns: u64,
+        echo_delay_ns: u64,
+        loss: f64,
+        dup: f64,
+        reorder: f64,
+        jitter_ns: u64,
+        crash: Option<(u64, u64)>, // hub (down_at ns, outage ns)
+        seed: u64,
+        fault_seed: u64,
+    }
+
+    fn lane_scenario() -> impl Strategy<Value = LaneScenario> {
+        (
+            (2usize..5, 1u64..12, 0u64..2_500, 1u64..1_500),
+            (0.0f64..0.3, 0.0f64..0.2, 0.0f64..0.3, 0u64..2_000),
+            proptest::option::of((500u64..8_000, 300u64..4_000)),
+            (1u64..u64::MAX, 1u64..u64::MAX),
+        )
+            .prop_map(
+                |(
+                    (leaves, count, gap_ns, echo_delay_ns),
+                    (loss, dup, reorder, jitter_ns),
+                    crash,
+                    (seed, fault_seed),
+                )| LaneScenario {
+                    leaves,
+                    count,
+                    gap_ns,
+                    echo_delay_ns,
+                    loss,
+                    dup,
+                    reorder,
+                    jitter_ns,
+                    crash,
+                    seed,
+                    fault_seed,
+                },
+            )
+    }
+
+    fn run_lane_scenario(sc: &LaneScenario, lanes: usize) -> Observed {
+        let mut b = NetworkBuilder::new(sc.seed);
+        b.set_fault_seed(sc.fault_seed);
+        b.set_lanes(lanes);
+        let hub = b.add_node(EchoHub {
+            delay_ns: sc.echo_delay_ns,
+            echoes: 0,
+        });
+        let faults = FaultModel::reliable()
+            .with_loss(sc.loss)
+            .with_duplication(sc.dup)
+            .with_reordering(
+                sc.reorder,
+                SimDuration::from_nanos(sc.jitter_ns),
+            );
+        let link = LinkConfig::new(100e9, SimDuration::from_micros(1));
+        let leaves: Vec<NodeId> = (0..sc.leaves)
+            .map(|_| {
+                let leaf = b.add_node(Pinger {
+                    hub,
+                    count: sc.count,
+                    gap_ns: sc.gap_ns,
+                    got: 0,
+                });
+                b.connect(leaf, hub, link.clone().with_faults(faults.clone()));
+                leaf
+            })
+            .collect();
+        let mut net = b.build();
+        net.enable_frame_trace(4096);
+        if let Some((down_at, outage)) = sc.crash {
+            net.schedule_node_down(hub, SimTime::from_nanos(down_at));
+            net.schedule_node_up(hub, SimTime::from_nanos(down_at + outage));
+        }
+        net.run_to_idle();
+        Observed {
+            trace: net.frame_trace().copied().collect(),
+            events: net.events_processed(),
+            now: net.now(),
+            echoes: net.node::<EchoHub>(hub).echoes,
+            got: leaves
+                .iter()
+                .map(|&l| net.node::<Pinger>(l).got)
+                .collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// The tentpole's determinism contract: under random loss ×
+        /// reorder × duplication × crash, parallel lanes ∈ {2, 4} produce
+        /// a full frame trace — and every counter and clock — byte-identical
+        /// to sequential execution.
+        #[test]
+        fn parallel_lanes_are_byte_identical_to_sequential(sc in lane_scenario()) {
+            let sequential = run_lane_scenario(&sc, 1);
+            for lanes in [2usize, 4] {
+                let parallel = run_lane_scenario(&sc, lanes);
+                prop_assert_eq!(&sequential, &parallel, "lanes={}", lanes);
+            }
+        }
+    }
 }
 
 /// Convenient glob import of the types almost every user needs.
