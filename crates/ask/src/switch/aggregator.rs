@@ -34,17 +34,24 @@ use ask_wire::packet::{
     AaRegion, AggregateOp, ChannelId, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
 };
 use ask_wire::pool::PacketPool;
+use ask_wire::view::DataPacketView;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// Mixes a key hash into an aggregator index, decorrelated from the
-/// subspace-partition hash (which uses the raw `hash64`).
-fn index_hash(key: &Key) -> u64 {
-    // splitmix64 finalizer over the FNV hash.
-    let mut z = key.hash64().wrapping_add(0x9e37_79b9_7f4a_7c15);
+/// Mixes a 64-bit key hash into an aggregator index (splitmix64
+/// finalizer), decorrelated from the subspace-partition hash (which uses
+/// the raw `hash64`). Shared by the materializing path and the borrowed
+/// view lanes, which hash straight off the wire bytes.
+fn index_mix(h: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// [`index_mix`] over a materialized key.
+fn index_hash(key: &Key) -> u64 {
+    index_mix(key.hash64())
 }
 
 /// Outcome of the dedup gate for one sequenced packet.
@@ -71,6 +78,79 @@ pub enum DataVerdict {
     FullyAggregated,
     /// Residual tuples remain: forward this rewritten packet downstream.
     Forward(DataPacket),
+}
+
+/// Verdict for one data packet processed through the borrowed-view path.
+///
+/// Mirrors [`DataVerdict`] case for case, but a partial absorb reports the
+/// surviving slot bitmap instead of a rewritten packet — the caller
+/// re-frames the original wire bytes with
+/// [`ask_wire::view::DataPacketView::residual_frame`], so nothing is ever
+/// materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewVerdict {
+    /// Stale packet, dropped without any response.
+    Stale,
+    /// Every tuple aggregated: drop the frame and ACK the sender.
+    FullyAggregated,
+    /// Residual tuples remain: re-frame and forward the surviving slots.
+    Forward {
+        /// Bitmap of the slots that survived aggregation.
+        residual: u128,
+    },
+}
+
+/// Structure-of-arrays scratch for a burst of data-packet views: one lane
+/// entry per occupied slot across the whole burst, plus a packed per-slot
+/// `kPart` segment lane. Filling the lanes is the columnar pre-hash phase
+/// (every key in the burst is FNV+splitmix-hashed in one tight loop over
+/// the wire bytes); [`AggregatorEngine::process_batch_views`] then replays
+/// each packet's lane range against the register arrays.
+#[derive(Debug, Default)]
+struct ViewLanes {
+    /// Logical slot index of each occupied slot, burst-concatenated.
+    slot_ix: Vec<u32>,
+    /// Slot value lane.
+    value: Vec<u32>,
+    /// Pre-mixed aggregator index hash lane.
+    mix: Vec<u64>,
+    /// Packed `kPart` segments: 1 per short slot, `m` per medium slot.
+    seg: Vec<u32>,
+    /// Per-packet `(slot_start, slot_end, seg_start)` ranges into the lanes.
+    pkt: Vec<(u32, u32, u32)>,
+}
+
+impl ViewLanes {
+    /// Columnar pre-hash: walks every occupied slot of every view in order,
+    /// splitting slot index / value / index hash / key segments into their
+    /// own lanes.
+    fn fill(&mut self, views: &[DataPacketView]) {
+        self.slot_ix.clear();
+        self.value.clear();
+        self.mix.clear();
+        self.seg.clear();
+        self.pkt.clear();
+        for v in views {
+            let slot_start = self.slot_ix.len() as u32;
+            let seg_start = self.seg.len() as u32;
+            let short = v.short_slots();
+            let m = v.medium_segments();
+            for s in v.slots() {
+                self.slot_ix.push(s.index() as u32);
+                self.value.push(s.value());
+                self.mix.push(index_mix(s.hash64()));
+                if s.index() < short {
+                    self.seg.push(s.segment(0));
+                } else {
+                    for j in 0..m {
+                        self.seg.push(s.segment(j));
+                    }
+                }
+            }
+            self.pkt
+                .push((slot_start, self.slot_ix.len() as u32, seg_start));
+        }
+    }
 }
 
 /// Where a claimed aggregator lives, for fast harvest.
@@ -197,6 +277,8 @@ pub struct AggregatorEngine {
     /// Recycled packet backing stores: the decode path takes slot vectors
     /// from here and every verdict that consumes a packet returns them.
     pool: PacketPool,
+    /// SoA scratch for the view ingest path, reused across bursts.
+    view_lanes: ViewLanes,
     /// Violations journaled by pipelines discarded in [`crash_reset`]
     /// (`AggregatorEngine::crash_reset`); added to the live pipeline's count
     /// so the PISA-legality invariant spans crashes.
@@ -251,6 +333,7 @@ impl AggregatorEngine {
             local_hosts: None,
             absorbed_seqs,
             pool: PacketPool::new(),
+            view_lanes: ViewLanes::default(),
             carried_violations: 0,
         }
     }
@@ -648,6 +731,270 @@ impl AggregatorEngine {
         if let Some(prev) = cur {
             self.note_burst(prev.task_slot, group_len);
         }
+    }
+
+    /// [`AggregatorEngine::process_data`] over a borrowed view: same
+    /// pipeline program, same verdict and counters, but aggregation reads
+    /// keys and values straight from the frame bytes and the partial-absorb
+    /// outcome is a residual bitmap instead of a rewritten packet. Never
+    /// touches the packet pool.
+    pub fn process_data_view(&mut self, view: &DataPacketView) -> ViewVerdict {
+        let ent = self.dispatch_entry(view.channel(), view.task());
+        let mut lanes = std::mem::take(&mut self.view_lanes);
+        lanes.fill(std::slice::from_ref(view));
+        let v = self.process_resolved_view(ent, view, &lanes, 0);
+        self.view_lanes = lanes;
+        v
+    }
+
+    /// [`AggregatorEngine::process_batch`] over borrowed views: phase 1
+    /// pre-hashes every slot key in the burst into the SoA lanes, phase 2
+    /// replays each packet's lane range through its own pipeline pass.
+    /// Verdicts, counters (including the burst histogram), register state,
+    /// and pass/violation accounting are identical to feeding the
+    /// materialized packets through [`AggregatorEngine::process_batch`]
+    /// (proptest-pinned); one verdict per view is appended to `verdicts` in
+    /// input order.
+    pub fn process_batch_views(
+        &mut self,
+        views: &[DataPacketView],
+        verdicts: &mut Vec<ViewVerdict>,
+    ) {
+        let mut lanes = std::mem::take(&mut self.view_lanes);
+        lanes.fill(views);
+        let mut cur: Option<DispatchEntry> = None;
+        let mut group_len: u64 = 0;
+        for (ix, view) in views.iter().enumerate() {
+            let ent = match cur {
+                Some(e) if e.channel == view.channel() && e.task == view.task() => {
+                    group_len += 1;
+                    e
+                }
+                _ => {
+                    if let Some(prev) = cur {
+                        self.note_burst(prev.task_slot, group_len);
+                    }
+                    group_len = 1;
+                    let e = self.dispatch_entry(view.channel(), view.task());
+                    cur = Some(e);
+                    e
+                }
+            };
+            verdicts.push(self.process_resolved_view(ent, view, &lanes, ix));
+        }
+        if let Some(prev) = cur {
+            self.note_burst(prev.task_slot, group_len);
+        }
+        self.view_lanes = lanes;
+    }
+
+    /// The pipeline program for one viewed packet — branch for branch the
+    /// same as [`process_resolved_ex`](Self::process_resolved_ex) with
+    /// aggregation on, so pass counts, register access order, and degraded
+    /// (violation) behavior are indistinguishable from the scalar path.
+    #[allow(clippy::drop_non_drop)]
+    fn process_resolved_view(
+        &mut self,
+        ent: DispatchEntry,
+        view: &DataPacketView,
+        lanes: &ViewLanes,
+        pkt_ix: usize,
+    ) -> ViewVerdict {
+        let bitmap = view.bitmap();
+        if ent.ch_slot == SLOT_NONE {
+            // No reliability state available: best-effort pure forwarding.
+            return ViewVerdict::Forward { residual: bitmap };
+        }
+        let ch_slot = ent.ch_slot as usize;
+        let window = self.config.window;
+
+        let mut pass = self.pipeline.begin_pass();
+        let copy = if ent.task_slot != SLOT_NONE {
+            match pass.access(self.copy_indicator, ent.indicator_idx as usize, |v| *v) {
+                Ok(c) => c as usize,
+                Err(_) => {
+                    drop(pass);
+                    return ViewVerdict::Forward { residual: bitmap };
+                }
+            }
+        } else {
+            0
+        };
+
+        let obs = match Self::observe_in_pass(
+            &mut pass,
+            self.max_seq,
+            self.seen,
+            ch_slot,
+            window,
+            view.seq().0,
+        ) {
+            Ok(o) => o,
+            Err(_) => {
+                drop(pass);
+                return ViewVerdict::Forward { residual: bitmap };
+            }
+        };
+        let state_idx = ch_slot * window + (view.seq().0 % window as u64) as usize;
+
+        match obs {
+            Observation::Stale => {
+                drop(pass);
+                if let Some(t) = self.slot_entry_mut(ent.task_slot) {
+                    t.stats.stale_dropped += 1;
+                }
+                ViewVerdict::Stale
+            }
+            Observation::First => {
+                let (new_claims, aggregated, forwarded, residual) = if ent.task_slot != SLOT_NONE {
+                    Self::aggregate_lanes(
+                        &mut pass,
+                        &self.aas,
+                        &self.config,
+                        ent.region,
+                        copy,
+                        ent.op,
+                        ent.index_mask,
+                        lanes,
+                        pkt_ix,
+                        bitmap,
+                    )
+                } else {
+                    (Vec::new(), 0, bitmap.count_ones() as u64, bitmap)
+                };
+                let _ = pass.access(self.pkt_state, state_idx, |v| *v = residual as u64);
+                drop(pass);
+                let empty = residual == 0;
+                let dup_absorb = match self.absorbed_seqs.as_mut() {
+                    Some(journal) if aggregated > 0 => {
+                        u64::from(!journal.insert((view.channel(), view.seq().0)))
+                    }
+                    _ => 0,
+                };
+                if let Some(t) = self.slot_entry_mut(ent.task_slot) {
+                    t.claims[copy].extend(new_claims);
+                    t.stats.data_packets += 1;
+                    t.stats.tuples_aggregated += aggregated;
+                    t.stats.tuples_forwarded += forwarded;
+                    t.stats.duplicate_absorptions += dup_absorb;
+                    if empty {
+                        t.stats.packets_fully_aggregated += 1;
+                    } else {
+                        t.stats.packets_forwarded += 1;
+                    }
+                }
+                if empty {
+                    ViewVerdict::FullyAggregated
+                } else {
+                    ViewVerdict::Forward { residual }
+                }
+            }
+            Observation::Duplicate => {
+                let stored = match pass.access(self.pkt_state, state_idx, |v| *v) {
+                    Ok(v) => v as u128,
+                    Err(_) => u128::MAX,
+                };
+                drop(pass);
+                if let Some(t) = self.slot_entry_mut(ent.task_slot) {
+                    t.stats.duplicates_detected += 1;
+                }
+                if stored == 0 {
+                    ViewVerdict::FullyAggregated
+                } else {
+                    ViewVerdict::Forward {
+                        residual: bitmap & stored,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregates one packet's lane range within one pass — the per-lane
+    /// counterpart of [`aggregate_packet`](Self::aggregate_packet), with the
+    /// same per-slot register access sequence. Returns new claims, the
+    /// aggregated/forwarded tuple counts, and the surviving slot bitmap.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_lanes(
+        pass: &mut Pass<'_>,
+        aas: &[ArrayId],
+        config: &AskConfig,
+        region: AaRegion,
+        copy: usize,
+        op: AggregateOp,
+        index_mask: u64,
+        lanes: &ViewLanes,
+        pkt_ix: usize,
+        bitmap: u128,
+    ) -> (Vec<Claim>, u64, u64, u128) {
+        let layout = &config.layout;
+        let copy_off = copy * config.aggregators_per_aa;
+        let short = layout.short_slots();
+        let m = layout.medium_segments();
+        let (start, end, seg_start) = lanes.pkt[pkt_ix];
+        let mut seg_cursor = seg_start as usize;
+        let mut claims = Vec::new();
+        let mut aggregated = 0u64;
+        let mut forwarded = 0u64;
+        let mut residual = bitmap;
+
+        for lane in start as usize..end as usize {
+            let slot_ix = lanes.slot_ix[lane] as usize;
+            let value = lanes.value[lane];
+            let mix = lanes.mix[lane];
+            let spread = if index_mask == MASK_MODULO {
+                mix % region.aggregators as u64
+            } else {
+                mix & index_mask
+            };
+            let idx = copy_off + region.base as usize + spread as usize;
+            let ok = if slot_ix < short {
+                let seg = lanes.seg[seg_cursor];
+                seg_cursor += 1;
+                debug_assert_ne!(seg, 0, "valid keys have non-zero segments");
+                match Self::aggregate_segment(pass, aas[slot_ix], idx, seg, value, true, op) {
+                    SegmentOutcome::Claimed => {
+                        claims.push(Claim::Short { aa: slot_ix, idx });
+                        true
+                    }
+                    SegmentOutcome::Matched => true,
+                    SegmentOutcome::Conflict => false,
+                }
+            } else {
+                let group = slot_ix - short;
+                let base_aa = short + group * m;
+                let mut claimed_any = false;
+                let mut failed = false;
+                for s in 0..m {
+                    if failed {
+                        break;
+                    }
+                    let aa = aas[base_aa + s];
+                    let seg = lanes.seg[seg_cursor + s];
+                    let is_last = s == m - 1;
+                    match Self::aggregate_segment(pass, aa, idx, seg, value, is_last, op) {
+                        SegmentOutcome::Claimed => claimed_any = true,
+                        SegmentOutcome::Matched => {}
+                        SegmentOutcome::Conflict => failed = true,
+                    }
+                }
+                seg_cursor += m;
+                debug_assert!(
+                    !(claimed_any && failed),
+                    "coalesced invariant: blanks are all-or-none per index"
+                );
+                if claimed_any {
+                    claims.push(Claim::Medium { group, idx });
+                }
+                !failed
+            };
+            if ok {
+                aggregated += 1;
+                residual &= !(1u128 << slot_ix);
+            } else {
+                forwarded += 1;
+            }
+        }
+        (claims, aggregated, forwarded, residual)
     }
 
     /// Records one same-channel ingest run in the task's burst histogram.
@@ -1613,6 +1960,71 @@ mod tests {
         e.process_data(pkt(1, 0, 4, &[(0, "cat", 1)]));
         let s2 = e.task_stats(TaskId(1)).unwrap();
         assert_eq!(s2.burst_len.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn view_batch_matches_scalar_batch() {
+        use ask_wire::codec::encode_envelope_parts;
+        use ask_wire::packet::AskPacket;
+        use ask_wire::view::{FrameView, PacketView};
+        let layout = AskConfig::tiny().layout;
+        let view_of = |p: &DataPacket| -> DataPacketView {
+            let bytes = encode_envelope_parts(1, 0, 0, 0, &AskPacket::Data(p.clone()), &layout);
+            match FrameView::parse(bytes).unwrap().into_packet() {
+                PacketView::Data(d) => d,
+                _ => unreachable!("data frames parse to data views"),
+            }
+        };
+        let mk = || {
+            let mut e = engine();
+            e.register_task(TaskId(1), 9).unwrap();
+            e
+        };
+        let mut packets: Vec<DataPacket> = Vec::new();
+        for seq in 0..6u64 {
+            packets.push(pkt(1, 0, seq, &[(0, "cat", 1), (4, "maples", 2)]));
+        }
+        for seq in 0..4u64 {
+            packets.push(pkt(1, 1, seq, &[(1, "dog", 3)]));
+        }
+        packets.push(pkt(1, 0, 2, &[(0, "cat", 1), (4, "maples", 2)])); // dup
+        packets.push(pkt(42, 2, 0, &[(0, "eel", 9)])); // unknown task
+        packets.push(pkt(1, 0, 0, &[(0, "cat", 1)])); // stale once seqs advance
+
+        let views: Vec<DataPacketView> = packets.iter().map(&view_of).collect();
+        let mut scalar_e = mk();
+        let mut scalar_verdicts = Vec::new();
+        scalar_e.process_batch(packets.clone(), &mut scalar_verdicts);
+        let mut view_e = mk();
+        let mut view_verdicts = Vec::new();
+        view_e.process_batch_views(&views, &mut view_verdicts);
+
+        assert_eq!(scalar_verdicts.len(), view_verdicts.len());
+        for (s, v) in scalar_verdicts.iter().zip(&view_verdicts) {
+            match (s, v) {
+                (DataVerdict::Stale, ViewVerdict::Stale) => {}
+                (DataVerdict::FullyAggregated, ViewVerdict::FullyAggregated) => {}
+                (DataVerdict::Forward(p), ViewVerdict::Forward { residual }) => {
+                    assert_eq!(p.bitmap(), *residual);
+                }
+                other => panic!("verdicts diverge: {other:?}"),
+            }
+        }
+        assert_eq!(
+            scalar_e.task_stats(TaskId(1)).unwrap(),
+            view_e.task_stats(TaskId(1)).unwrap(),
+            "counters (including burst histogram) must match"
+        );
+        assert_eq!(scalar_e.passes_executed(), view_e.passes_executed());
+        assert_eq!(
+            scalar_e.constraint_violations(),
+            view_e.constraint_violations()
+        );
+        assert_eq!(
+            scalar_e.fetch(TaskId(1), FetchScope::All, 1),
+            view_e.fetch(TaskId(1), FetchScope::All, 1)
+        );
+        assert_eq!(view_e.pool().retained(), 0, "view path never touches the pool");
     }
 
     #[test]

@@ -2,14 +2,16 @@
 
 pub mod aggregator;
 
-pub use aggregator::{AggregatorEngine, DataVerdict, Observation};
+pub use aggregator::{AggregatorEngine, DataVerdict, Observation, ViewVerdict};
 
 use crate::config::AskConfig;
 use crate::stats::SwitchTaskStats;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
 use ask_wire::codec::{decode_envelope_pooled, encode_envelope, Envelope, FLAG_NO_AGGREGATE};
+use ask_wire::constants::PACKET_OVERHEAD;
 use ask_wire::packet::{AskPacket, ChannelId, ControlMsg, DataPacket, SeqNo, TaskId};
+use ask_wire::view::{DataPacketView, FrameView, PacketView};
 use bytes::Bytes;
 
 /// Everything needed to emit the response for one data packet's verdict
@@ -61,11 +63,24 @@ pub struct AskSwitch {
     batch_pkts: Vec<DataPacket>,
     batch_meta: Vec<DataMeta>,
     batch_verdicts: Vec<DataVerdict>,
+    /// Forces the legacy materializing (scalar) datapath instead of the
+    /// zero-materialization view path. Set from
+    /// [`AskConfig::switch_scalar`] or the `ASK_SWITCH_SCALAR` environment
+    /// variable; both paths emit byte-identical traffic.
+    scalar: bool,
+    /// Data frames fully absorbed by the view path: consumed straight from
+    /// the wire bytes with no slot materialization and no pool traffic.
+    pure_absorb: u64,
+    /// Scratch buffers for view-path burst ingest.
+    batch_views: Vec<DataPacketView>,
+    batch_view_verdicts: Vec<ViewVerdict>,
 }
 
 impl AskSwitch {
     /// Creates a switch with the given configuration.
     pub fn new(config: AskConfig) -> Self {
+        let scalar = config.switch_scalar
+            || std::env::var("ASK_SWITCH_SCALAR").map(|v| v != "0").unwrap_or(false);
         AskSwitch {
             engine: AggregatorEngine::new(config),
             routes: std::collections::HashMap::new(),
@@ -77,6 +92,10 @@ impl AskSwitch {
             batch_pkts: Vec::new(),
             batch_meta: Vec::new(),
             batch_verdicts: Vec::new(),
+            scalar,
+            pure_absorb: 0,
+            batch_views: Vec::new(),
+            batch_view_verdicts: Vec::new(),
         }
     }
 
@@ -92,6 +111,8 @@ impl AskSwitch {
         self.batch_pkts.clear();
         self.batch_meta.clear();
         self.batch_verdicts.clear();
+        self.batch_views.clear();
+        self.batch_view_verdicts.clear();
     }
 
     /// The switch's current incarnation number.
@@ -107,6 +128,18 @@ impl AskSwitch {
     /// Data packets that took the degraded no-aggregate pass-through path.
     pub fn noagg_relayed(&self) -> u64 {
         self.noagg_relayed
+    }
+
+    /// Data frames the view path fully absorbed without materializing a
+    /// single slot — zero pool traffic, just an ACK back to the sender.
+    /// Always zero on the scalar datapath.
+    pub fn pure_absorb_frames(&self) -> u64 {
+        self.pure_absorb
+    }
+
+    /// Whether the switch is running the legacy materializing datapath.
+    pub fn is_scalar(&self) -> bool {
+        self.scalar
     }
 
     /// Epoch gate for one ingress frame: frames from this epoch pass;
@@ -351,10 +384,315 @@ impl AskSwitch {
             },
         }
     }
-}
 
-impl Node for AskSwitch {
-    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+    /// Epoch gate for the view path: same counter and
+    /// [`ControlMsg::EpochNotify`] reply as [`AskSwitch::epoch_admit`],
+    /// with nothing to recycle because nothing was materialized.
+    fn epoch_admit_view(&mut self, src: u32, envelope_epoch: u32, ctx: &mut Context<'_>) -> bool {
+        if envelope_epoch >= self.epoch {
+            return true;
+        }
+        self.stale_epoch_drops += 1;
+        let notify = AskPacket::Control(ControlMsg::EpochNotify { epoch: self.epoch });
+        self.reply(src, notify, ctx);
+        false
+    }
+
+    /// Emits the response for one view-path verdict. Fully-absorbed frames
+    /// cost an ACK and nothing else. Residual forwards either relay the
+    /// inbound buffer unchanged (nothing was aggregated out) or rewrite it
+    /// with [`DataPacketView::residual_frame`] — byte-identical to the
+    /// scalar decode→clear→re-encode, without the decode.
+    fn emit_view_verdict(
+        &mut self,
+        verdict: ViewVerdict,
+        view: &DataPacketView,
+        m: DataMeta,
+        ctx: &mut Context<'_>,
+    ) {
+        match verdict {
+            ViewVerdict::Stale => {}
+            ViewVerdict::FullyAggregated => {
+                self.pure_absorb += 1;
+                let ack = AskPacket::Ack {
+                    channel: m.channel,
+                    seq: m.seq,
+                    ece: m.ecn,
+                };
+                self.reply(m.src, ack, ctx);
+            }
+            ViewVerdict::Forward { residual } => {
+                if residual == view.bitmap() {
+                    self.forward_raw(m.dst, m.payload, m.wire, m.ecn, ctx);
+                } else {
+                    let bytes = view.residual_frame(residual);
+                    let layout = self.engine.config().layout;
+                    let mut wire = PACKET_OVERHEAD;
+                    let mut bm = residual;
+                    while bm != 0 {
+                        let i = bm.trailing_zeros() as usize;
+                        wire += layout.slot_bytes(i);
+                        bm &= bm - 1;
+                    }
+                    self.forward_raw(m.dst, bytes, wire, m.ecn, ctx);
+                }
+            }
+        }
+    }
+
+    /// Runs the accumulated view batch through
+    /// [`AggregatorEngine::process_batch_views`] and emits each verdict's
+    /// response in input order.
+    fn flush_view_batch(
+        &mut self,
+        views: &mut Vec<DataPacketView>,
+        meta: &mut Vec<DataMeta>,
+        ctx: &mut Context<'_>,
+    ) {
+        if views.is_empty() {
+            return;
+        }
+        let mut verdicts = std::mem::take(&mut self.batch_view_verdicts);
+        verdicts.clear();
+        self.engine.process_batch_views(views, &mut verdicts);
+        for ((verdict, view), m) in verdicts.drain(..).zip(views.drain(..)).zip(meta.drain(..)) {
+            self.emit_view_verdict(verdict, &view, m, ctx);
+        }
+        self.batch_view_verdicts = verdicts;
+    }
+
+    /// Fallback for data frames the view path cannot aggregate in place
+    /// (no-aggregate pass-through, forged/mismatched slot layouts):
+    /// materialize through the pool — reusing the view's one-shot CRC
+    /// validation instead of re-checksumming — and run the scalar path for
+    /// this one packet.
+    fn data_fallback_view(
+        &mut self,
+        view: &FrameView,
+        payload: Bytes,
+        ecn: bool,
+        wire: usize,
+        ctx: &mut Context<'_>,
+    ) {
+        let envelope = view.materialize_pooled(self.engine.pool_mut());
+        let Envelope {
+            src,
+            dst,
+            epoch,
+            flags,
+            packet,
+        } = envelope;
+        let AskPacket::Data(pkt) = packet else {
+            unreachable!("fallback only invoked for data views");
+        };
+        let m = DataMeta {
+            src,
+            dst,
+            channel: pkt.channel,
+            seq: pkt.seq,
+            ecn,
+            wire,
+            occupied_before: pkt.occupied(),
+            payload,
+            epoch,
+            flags,
+        };
+        let verdict = if flags & FLAG_NO_AGGREGATE != 0 {
+            self.noagg_relayed += 1;
+            self.engine.process_data_no_aggregate(pkt)
+        } else {
+            self.engine.process_data(pkt)
+        };
+        self.emit_data_verdict(verdict, m, ctx);
+    }
+
+    /// View-path counterpart of [`AskSwitch::handle_nondata`]: identical
+    /// verdicts, counters, and replies with no materialization — relays
+    /// reuse the raw payload bytes and the long-kv counter reads the
+    /// validated entry count straight from the view.
+    #[allow(clippy::too_many_arguments)] // the parsed frame's full identity
+    fn handle_nondata_view(
+        &mut self,
+        src: u32,
+        dst: u32,
+        packet: PacketView,
+        payload: Bytes,
+        ecn: bool,
+        wire: usize,
+        ctx: &mut Context<'_>,
+    ) {
+        match packet {
+            PacketView::Data(_) => unreachable!("data packets take the batch path"),
+            PacketView::LongKv {
+                channel,
+                seq,
+                task,
+                entry_count,
+            } => {
+                match self.engine.observe_bypass(channel, seq) {
+                    Observation::Stale => {}
+                    Observation::First | Observation::Duplicate => {
+                        self.engine.note_longkv_forwarded(task, entry_count as u64);
+                        self.forward_raw(dst, payload, wire, ecn, ctx);
+                    }
+                }
+            }
+            PacketView::Fin { channel, seq, .. } => {
+                match self.engine.observe_bypass(channel, seq) {
+                    Observation::Stale => {}
+                    Observation::First | Observation::Duplicate => {
+                        self.forward_raw(dst, payload, wire, ecn, ctx);
+                    }
+                }
+            }
+            PacketView::Ack { .. } | PacketView::FetchReply { .. } => {
+                self.forward_raw(dst, payload, wire, false, ctx);
+            }
+            PacketView::Swap { task } => {
+                self.engine.swap(task);
+            }
+            PacketView::FetchRequest {
+                task,
+                scope,
+                fetch_seq,
+            } => {
+                let entries = self.engine.fetch(task, scope, fetch_seq);
+                let reply = AskPacket::FetchReply {
+                    task,
+                    fetch_seq,
+                    entries,
+                };
+                self.reply(src, reply, ctx);
+            }
+            PacketView::Control(msg) => match msg {
+                ControlMsg::RegionRequest { task, op } => {
+                    let reply = match self.engine.register_task_with_op(task, src, op) {
+                        Some(region) => ControlMsg::RegionGrant { task, region },
+                        None => ControlMsg::RegionDeny { task },
+                    };
+                    self.reply(src, AskPacket::Control(reply), ctx);
+                }
+                ControlMsg::RegionRelease { task } => {
+                    self.engine.release_task(task);
+                }
+                ControlMsg::TaskAnnounce { .. }
+                | ControlMsg::RegionGrant { .. }
+                | ControlMsg::RegionDeny { .. }
+                | ControlMsg::EpochNotify { .. } => {
+                    self.forward_raw(dst, payload, wire, false, ctx)
+                }
+            },
+        }
+    }
+
+    /// One-frame ingest over the zero-materialization view path: parse the
+    /// frame once (one CRC pass, no slot vectors), aggregate straight out
+    /// of the wire bytes, and answer from the same buffer.
+    fn on_frame_view(&mut self, frame: Frame, ctx: &mut Context<'_>) {
+        let ecn = frame.ecn_marked();
+        let wire = frame.wire_bytes();
+        let payload = frame.into_payload();
+        let view = match FrameView::parse(payload.clone()) {
+            Ok(v) => v,
+            Err(_) => {
+                self.undecodable += 1;
+                return;
+            }
+        };
+        if !self.epoch_admit_view(view.src(), view.epoch(), ctx) {
+            return;
+        }
+        let (src, dst, epoch, flags) = (view.src(), view.dst(), view.epoch(), view.flags());
+        let layout = self.engine.config().layout;
+        match view.packet() {
+            PacketView::Data(d)
+                if flags & FLAG_NO_AGGREGATE == 0 && d.matches_layout(&layout) =>
+            {
+                let m = DataMeta {
+                    src,
+                    dst,
+                    channel: d.channel(),
+                    seq: d.seq(),
+                    ecn,
+                    wire,
+                    occupied_before: d.occupied(),
+                    payload,
+                    epoch,
+                    flags,
+                };
+                let verdict = self.engine.process_data_view(d);
+                self.emit_view_verdict(verdict, d, m, ctx);
+            }
+            PacketView::Data(_) => self.data_fallback_view(&view, payload, ecn, wire, ctx),
+            _ => {
+                let packet = view.into_packet();
+                self.handle_nondata_view(src, dst, packet, payload, ecn, wire, ctx);
+            }
+        }
+    }
+
+    /// Burst ingest over the view path: mirrors
+    /// [`AskSwitch::on_frames_scalar`]'s grouping and flush boundaries, so
+    /// every reply and forward is emitted in the identical order.
+    fn on_frames_view(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        let mut views = std::mem::take(&mut self.batch_views);
+        let mut meta = std::mem::take(&mut self.batch_meta);
+        debug_assert!(views.is_empty() && meta.is_empty());
+        for (_, frame) in burst.drain(..) {
+            let ecn = frame.ecn_marked();
+            let wire = frame.wire_bytes();
+            let payload = frame.into_payload();
+            let view = match FrameView::parse(payload.clone()) {
+                Ok(v) => v,
+                Err(_) => {
+                    self.undecodable += 1;
+                    continue;
+                }
+            };
+            if !self.epoch_admit_view(view.src(), view.epoch(), ctx) {
+                continue;
+            }
+            let (src, dst, epoch, flags) = (view.src(), view.dst(), view.epoch(), view.flags());
+            let layout = self.engine.config().layout;
+            match view.packet() {
+                PacketView::Data(d)
+                    if flags & FLAG_NO_AGGREGATE == 0 && d.matches_layout(&layout) =>
+                {
+                    meta.push(DataMeta {
+                        src,
+                        dst,
+                        channel: d.channel(),
+                        seq: d.seq(),
+                        ecn,
+                        wire,
+                        occupied_before: d.occupied(),
+                        payload,
+                        epoch,
+                        flags,
+                    });
+                    views.push(d.clone());
+                }
+                PacketView::Data(_) => {
+                    // Degraded or layout-mismatched frame: flush the pending
+                    // batch to preserve ordering, then materialize and run
+                    // the scalar path for this one packet.
+                    self.flush_view_batch(&mut views, &mut meta, ctx);
+                    self.data_fallback_view(&view, payload, ecn, wire, ctx);
+                }
+                _ => {
+                    self.flush_view_batch(&mut views, &mut meta, ctx);
+                    let packet = view.into_packet();
+                    self.handle_nondata_view(src, dst, packet, payload, ecn, wire, ctx);
+                }
+            }
+        }
+        self.flush_view_batch(&mut views, &mut meta, ctx);
+        self.batch_views = views;
+        self.batch_meta = meta;
+    }
+
+    /// One-frame ingest over the legacy materializing datapath.
+    fn on_frame_scalar(&mut self, frame: Frame, ctx: &mut Context<'_>) {
         let ecn = frame.ecn_marked();
         let wire = frame.wire_bytes();
         // Keep the raw payload around: packets the switch relays unmodified
@@ -406,19 +744,14 @@ impl Node for AskSwitch {
         }
     }
 
-    /// A restart after a scheduled node-down window is a crash/recovery
-    /// cycle: the data plane comes back empty in a fresh epoch.
-    fn on_restart(&mut self, _ctx: &mut Context<'_>) {
-        self.crash();
-    }
-
-    /// Burst ingest: consecutive data packets in a delivery burst are run
-    /// through [`AggregatorEngine::process_batch`] as one group (keeping the
+    /// Burst ingest over the legacy materializing datapath: consecutive
+    /// data packets in a delivery burst are run through
+    /// [`AggregatorEngine::process_batch`] as one group (keeping the
     /// dispatch cache hot across the run), with every reply and forward
     /// emitted in input order — byte-identical traffic to one-at-a-time
     /// processing. Non-data packets flush the pending group first, so
     /// cross-kind ordering is preserved exactly.
-    fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+    fn on_frames_scalar(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
         let mut pkts = std::mem::take(&mut self.batch_pkts);
         let mut meta = std::mem::take(&mut self.batch_meta);
         debug_assert!(pkts.is_empty() && meta.is_empty());
@@ -489,5 +822,35 @@ impl Node for AskSwitch {
         self.flush_data_batch(&mut pkts, &mut meta, ctx);
         self.batch_pkts = pkts;
         self.batch_meta = meta;
+    }
+}
+
+impl Node for AskSwitch {
+    /// Every frame runs the zero-materialization view datapath unless the
+    /// scalar escape hatch ([`AskConfig::switch_scalar`] or
+    /// `ASK_SWITCH_SCALAR=1`) pins the legacy materializing path. The two
+    /// paths emit byte-identical traffic.
+    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        if self.scalar {
+            self.on_frame_scalar(frame, ctx);
+        } else {
+            self.on_frame_view(frame, ctx);
+        }
+    }
+
+    /// A restart after a scheduled node-down window is a crash/recovery
+    /// cycle: the data plane comes back empty in a fresh epoch.
+    fn on_restart(&mut self, _ctx: &mut Context<'_>) {
+        self.crash();
+    }
+
+    /// Burst ingest, batched through the engine on whichever datapath is
+    /// active; replies and forwards are emitted in input order either way.
+    fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        if self.scalar {
+            self.on_frames_scalar(burst, ctx);
+        } else {
+            self.on_frames_view(burst, ctx);
+        }
     }
 }

@@ -148,6 +148,91 @@ fn bench_aggregator_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Burst ingest ablation: the zero-materialization view path (parse →
+/// columnar pre-hash → per-lane aggregation) vs the materializing path
+/// (decode into pooled slot vectors → per-slot aggregation), at burst
+/// sizes 1, 8, and 64. Frame encoding happens in the untimed setup; the
+/// timed region is exactly what the switch does per delivery burst.
+fn bench_batch_view_ingest(c: &mut Criterion) {
+    use ask::switch::{DataVerdict, ViewVerdict};
+    use ask_wire::codec::{decode_envelope_pooled, encode_envelope_parts};
+    use ask_wire::view::{DataPacketView, FrameView, PacketView};
+    use bytes::Bytes;
+
+    let layout = PacketLayout::paper_default();
+    let (mut view_engine, packetizer) = engine_with(layout);
+    let (mut mat_engine, _) = engine_with(layout);
+    let slots = payloads(&packetizer, 96_000);
+    let mut group = c.benchmark_group("batch_view_ingest");
+    for n in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(n as u64));
+        let mut seq = 0u64;
+        let mut ix = 0usize;
+        let build = |seq: &mut u64, ix: &mut usize| -> Vec<Bytes> {
+            (0..n)
+                .map(|_| {
+                    let p = AskPacket::Data(DataPacket {
+                        task: TaskId(1),
+                        channel: ChannelId(0),
+                        seq: SeqNo(*seq),
+                        slots: slots[*ix % slots.len()].clone(),
+                    });
+                    *seq += 1;
+                    *ix += 1;
+                    encode_envelope_parts(1, 0, 0, 0, &p, &layout)
+                })
+                .collect()
+        };
+        let mut views: Vec<DataPacketView> = Vec::new();
+        let mut view_verdicts: Vec<ViewVerdict> = Vec::new();
+        group.bench_function(&format!("view_burst{n}"), |b| {
+            b.iter_batched(
+                || build(&mut seq, &mut ix),
+                |frames| {
+                    views.clear();
+                    for f in frames {
+                        let v = FrameView::parse(f).expect("valid frame");
+                        if let PacketView::Data(d) = v.into_packet() {
+                            views.push(d);
+                        }
+                    }
+                    view_verdicts.clear();
+                    view_engine.process_batch_views(&views, &mut view_verdicts);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        let mut seq2 = 0u64;
+        let mut ix2 = 0usize;
+        let mut pkts: Vec<DataPacket> = Vec::new();
+        let mut verdicts: Vec<DataVerdict> = Vec::new();
+        group.bench_function(&format!("materializing_burst{n}"), |b| {
+            b.iter_batched(
+                || build(&mut seq2, &mut ix2),
+                |frames| {
+                    pkts.clear();
+                    for f in frames {
+                        let env =
+                            decode_envelope_pooled(f, mat_engine.pool_mut()).expect("valid frame");
+                        if let AskPacket::Data(p) = env.packet {
+                            pkts.push(p);
+                        }
+                    }
+                    verdicts.clear();
+                    mat_engine.process_batch(pkts.drain(..), &mut verdicts);
+                    for v in verdicts.drain(..) {
+                        if let DataVerdict::Forward(p) = v {
+                            mat_engine.pool_mut().recycle_slots(p.slots);
+                        }
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 /// Shadow-copy swap + inactive-copy harvest.
 fn bench_shadow_swap(c: &mut Criterion) {
     let (mut engine, packetizer) = engine_with(PacketLayout::paper_default());
@@ -239,6 +324,7 @@ criterion_group!(
     bench_dedup_window,
     bench_codec,
     bench_aggregator_ingest,
+    bench_batch_view_ingest,
     bench_shadow_swap,
     bench_checksum,
     bench_aggregate_ops

@@ -147,6 +147,48 @@ mod tests {
     }
 
     #[test]
+    fn view_path_absorbs_without_any_switch_pool_traffic() {
+        if std::env::var("ASK_SWITCH_SCALAR").map(|v| v != "0").unwrap_or(false) {
+            // The scalar escape hatch is forced; this invariant is
+            // view-path-only by construction.
+            return;
+        }
+        // Fig8(a) shape, small: every data frame carries short keys and
+        // matches the switch layout, so the zero-materialization view path
+        // handles 100% of the traffic. The switch packet pool must see
+        // *zero* takes — absorb verdicts read slots straight off the wire
+        // bytes and partial absorbs re-frame the inbound buffer — and the
+        // pure-absorb counter must show frames dying in the switch without
+        // a single slot vector materialized.
+        let mut cfg = AskConfig::paper_default();
+        cfg.layout = PacketLayout::short_only(16);
+        cfg.data_channels = 4;
+        cfg.region_aggregators = cfg.aggregators_per_aa;
+        let run_cfg = AskRun {
+            tasks: 4,
+            ..AskRun::paper(cfg)
+        };
+        let stream = uniform_stream(11, 10_000, 80_000);
+        let report = run_ask(&run_cfg, vec![stream]);
+        assert!(
+            report.switch.tuples_aggregated > 0,
+            "the switch must actually absorb traffic"
+        );
+        assert!(
+            report.switch_pure_absorb > 0,
+            "fully-absorbed frames must be counted as pure absorbs"
+        );
+        assert_eq!(
+            report.switch_pool_hits + report.switch_pool_misses,
+            0,
+            "view-path switch must never touch the packet pool \
+             ({} hits / {} misses)",
+            report.switch_pool_hits,
+            report.switch_pool_misses,
+        );
+    }
+
+    #[test]
     fn sender_pool_is_warm_from_the_first_window() {
         // A stream barely larger than one send window: there is no steady
         // state to amortize into, so a >90% sender hit rate here can only

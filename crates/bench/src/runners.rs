@@ -155,6 +155,9 @@ pub struct AskReport {
     pub switch_pool_hits: u64,
     /// Switch-side packet-pool takes that allocated.
     pub switch_pool_misses: u64,
+    /// Data frames the switch fully absorbed without materializing a single
+    /// slot — pure view-path absorbs that never touched the packet pool.
+    pub switch_pure_absorb: u64,
 }
 
 impl AskReport {
@@ -252,6 +255,7 @@ pub fn run_ask(run: &AskRun, streams: Vec<Vec<KvTuple>>) -> AskReport {
         switch,
         switch_pool_hits: switch_pool.hits(),
         switch_pool_misses: switch_pool.misses(),
+        switch_pure_absorb: service.switch_ref().pure_absorb_frames(),
         receiver: service.host_stats(receiver),
         senders: senders_stats,
         receiver_cpu_s: service.host_cpu_busy(receiver).as_secs_f64(),

@@ -6,11 +6,13 @@
 
 use ask::config::AskConfig;
 use ask::switch::aggregator::AggregatorEngine;
-use ask::switch::DataVerdict;
+use ask::switch::{DataVerdict, ViewVerdict};
+use ask_wire::codec::encode_envelope_parts;
 use ask_wire::key::Key;
 use ask_wire::packet::{
-    ChannelId, DataPacket, FetchScope, KvTuple, PacketLayout, SeqNo, TaskId,
+    AskPacket, ChannelId, DataPacket, FetchScope, KvTuple, PacketLayout, SeqNo, TaskId,
 };
+use ask_wire::view::{DataPacketView, FrameView, PacketView};
 use proptest::prelude::*;
 
 const SLOTS: usize = 8;
@@ -148,6 +150,91 @@ proptest! {
             let sf = seq_engine.fetch(task, FetchScope::All, 1);
             let bf = bat_engine.fetch(task, FetchScope::All, 1);
             prop_assert_eq!(sf, bf);
+        }
+    }
+
+    /// The zero-materialization view batch (`process_batch_views`) is
+    /// observationally identical to the materializing batch
+    /// (`process_batch`) over the same burst boundaries: matching verdicts,
+    /// matching counters (burst histogram included), matching fetchable
+    /// memory — and every partial absorb re-frames to the *byte-identical*
+    /// wire frame the scalar path would re-encode.
+    #[test]
+    fn view_batch_matches_materializing_batch(
+        per_channel in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec((0u64..32, 1u32..100), 0..SLOTS),
+                    0..12,
+                ),
+                1..3, // channels per task
+            ),
+            TASKS as usize..=TASKS as usize,
+        ),
+        interleave in proptest::collection::vec(0usize..64, 0..64),
+        dup_from in proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+        burst_sizes in proptest::collection::vec(1usize..9, 1..64),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+    ) {
+        let stream = build_stream(&per_channel, &interleave, &dup_from);
+        let layout = PacketLayout::short_only(SLOTS);
+        let frames: Vec<_> = stream
+            .iter()
+            .map(|p| encode_envelope_parts(src, dst, 0, 0, &AskPacket::Data(p.clone()), &layout))
+            .collect();
+        let views: Vec<DataPacketView> = frames
+            .iter()
+            .map(|f| match FrameView::parse(f.clone()).expect("valid").into_packet() {
+                PacketView::Data(d) => d,
+                _ => unreachable!("data frames parse to data views"),
+            })
+            .collect();
+
+        let mut mat_engine = engine();
+        let mut view_engine = engine();
+        let mut cursor = 0usize;
+        let mut sizes = burst_sizes.iter().cycle();
+        while cursor < stream.len() {
+            let n = (*sizes.next().expect("cycled")).min(stream.len() - cursor);
+            let burst = cursor..cursor + n;
+            let mut mat_verdicts = Vec::new();
+            mat_engine.process_batch(stream[burst.clone()].iter().cloned(), &mut mat_verdicts);
+            let mut view_verdicts = Vec::new();
+            view_engine.process_batch_views(&views[burst.clone()], &mut view_verdicts);
+            prop_assert_eq!(mat_verdicts.len(), view_verdicts.len());
+            for (i, (m, v)) in mat_verdicts.iter().zip(&view_verdicts).enumerate() {
+                let at = cursor + i;
+                match (m, v) {
+                    (DataVerdict::Stale, ViewVerdict::Stale) => {}
+                    (DataVerdict::FullyAggregated, ViewVerdict::FullyAggregated) => {}
+                    (DataVerdict::Forward(p), ViewVerdict::Forward { residual }) => {
+                        prop_assert_eq!(p.bitmap(), *residual, "surviving slot sets diverge");
+                        let reencoded = encode_envelope_parts(
+                            src, dst, 0, 0, &AskPacket::Data(p.clone()), &layout,
+                        );
+                        let reframed = views[at].residual_frame(*residual);
+                        prop_assert_eq!(
+                            reencoded, reframed,
+                            "re-framed residual is not byte-identical at packet {}", at
+                        );
+                    }
+                    other => panic!("verdicts diverge at packet {at}: {other:?}"),
+                }
+            }
+            cursor += n;
+        }
+
+        for t in 0..TASKS {
+            let task = TaskId(t);
+            prop_assert_eq!(
+                mat_engine.task_stats(task).expect("registered"),
+                view_engine.task_stats(task).expect("registered")
+            );
+            prop_assert_eq!(
+                mat_engine.fetch(task, FetchScope::All, 1),
+                view_engine.fetch(task, FetchScope::All, 1)
+            );
         }
     }
 }

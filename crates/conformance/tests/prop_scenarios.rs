@@ -62,6 +62,7 @@ proptest! {
             region_aggregators: 32,
             restart_mid_run: restart,
             crash: None,
+            switch_scalar: false,
         };
         let report = scenario.run();
         prop_assert!(

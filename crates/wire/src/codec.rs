@@ -19,21 +19,21 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
 use std::sync::Arc;
 
-const KIND_DATA: u8 = 0;
-const KIND_LONG_KV: u8 = 1;
-const KIND_ACK: u8 = 2;
-const KIND_FIN: u8 = 3;
-const KIND_SWAP: u8 = 4;
-const KIND_FETCH_REQ: u8 = 5;
-const KIND_FETCH_REPLY: u8 = 6;
-const KIND_CONTROL: u8 = 7;
+pub(crate) const KIND_DATA: u8 = 0;
+pub(crate) const KIND_LONG_KV: u8 = 1;
+pub(crate) const KIND_ACK: u8 = 2;
+pub(crate) const KIND_FIN: u8 = 3;
+pub(crate) const KIND_SWAP: u8 = 4;
+pub(crate) const KIND_FETCH_REQ: u8 = 5;
+pub(crate) const KIND_FETCH_REPLY: u8 = 6;
+pub(crate) const KIND_CONTROL: u8 = 7;
 
-const CTRL_REGION_REQUEST: u8 = 0;
-const CTRL_REGION_GRANT: u8 = 1;
-const CTRL_REGION_DENY: u8 = 2;
-const CTRL_REGION_RELEASE: u8 = 3;
-const CTRL_TASK_ANNOUNCE: u8 = 4;
-const CTRL_EPOCH_NOTIFY: u8 = 5;
+pub(crate) const CTRL_REGION_REQUEST: u8 = 0;
+pub(crate) const CTRL_REGION_GRANT: u8 = 1;
+pub(crate) const CTRL_REGION_DENY: u8 = 2;
+pub(crate) const CTRL_REGION_RELEASE: u8 = 3;
+pub(crate) const CTRL_TASK_ANNOUNCE: u8 = 4;
+pub(crate) const CTRL_EPOCH_NOTIFY: u8 = 5;
 
 /// Envelope header length: checksum, source, destination, epoch, flags.
 pub const ENVELOPE_HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 1;
@@ -650,6 +650,35 @@ pub fn encode_envelope_parts(
     buf.freeze()
 }
 
+/// The addressing fields of a validated envelope header — the single
+/// checksum-and-header pass shared by [`decode_envelope`],
+/// [`decode_envelope_pooled`], and [`crate::view::FrameView::parse`], so no
+/// ingest path ever CRCs a frame twice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EnvelopeHeader {
+    pub(crate) src: u32,
+    pub(crate) dst: u32,
+    pub(crate) epoch: u32,
+    pub(crate) flags: u8,
+}
+
+/// Verifies the envelope checksum and reads the addressing header.
+pub(crate) fn check_envelope_header(bytes: &[u8]) -> Result<EnvelopeHeader, CodecError> {
+    if bytes.len() < ENVELOPE_HEADER_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    let expected = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if crc32(&bytes[4..]) != expected {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(EnvelopeHeader {
+        src: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        dst: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+        epoch: u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
+        flags: bytes[16],
+    })
+}
+
 /// Deserializes an addressed packet produced by [`encode_envelope`],
 /// verifying the integrity checksum first.
 ///
@@ -657,22 +686,14 @@ pub fn encode_envelope_parts(
 ///
 /// [`CodecError::ChecksumMismatch`] for corrupted frames; otherwise the
 /// same conditions as [`decode`].
-pub fn decode_envelope(mut bytes: Bytes) -> Result<Envelope, CodecError> {
-    need(&bytes, ENVELOPE_HEADER_BYTES)?;
-    let expected = bytes.get_u32();
-    if crc32(&bytes) != expected {
-        return Err(CodecError::ChecksumMismatch);
-    }
-    let src = bytes.get_u32();
-    let dst = bytes.get_u32();
-    let epoch = bytes.get_u32();
-    let flags = bytes.get_u8();
-    let packet = decode(bytes)?;
+pub fn decode_envelope(bytes: Bytes) -> Result<Envelope, CodecError> {
+    let h = check_envelope_header(&bytes)?;
+    let packet = decode(bytes.slice(ENVELOPE_HEADER_BYTES..))?;
     Ok(Envelope {
-        src,
-        dst,
-        epoch,
-        flags,
+        src: h.src,
+        dst: h.dst,
+        epoch: h.epoch,
+        flags: h.flags,
         packet,
     })
 }
@@ -685,24 +706,16 @@ pub fn decode_envelope(mut bytes: Bytes) -> Result<Envelope, CodecError> {
 ///
 /// Same conditions as [`decode_envelope`].
 pub fn decode_envelope_pooled(
-    mut bytes: Bytes,
+    bytes: Bytes,
     pool: &mut PacketPool,
 ) -> Result<Envelope, CodecError> {
-    need(&bytes, ENVELOPE_HEADER_BYTES)?;
-    let expected = bytes.get_u32();
-    if crc32(&bytes) != expected {
-        return Err(CodecError::ChecksumMismatch);
-    }
-    let src = bytes.get_u32();
-    let dst = bytes.get_u32();
-    let epoch = bytes.get_u32();
-    let flags = bytes.get_u8();
-    let packet = decode_pooled(bytes, pool)?;
+    let h = check_envelope_header(&bytes)?;
+    let packet = decode_pooled(bytes.slice(ENVELOPE_HEADER_BYTES..), pool)?;
     Ok(Envelope {
-        src,
-        dst,
-        epoch,
-        flags,
+        src: h.src,
+        dst: h.dst,
+        epoch: h.epoch,
+        flags: h.flags,
         packet,
     })
 }

@@ -33,6 +33,7 @@ pub mod constants;
 pub mod key;
 pub mod packet;
 pub mod pool;
+pub mod view;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
@@ -47,6 +48,7 @@ pub mod prelude {
         PacketLayout, SeqNo, TaskId,
     };
     pub use crate::pool::PacketPool;
+    pub use crate::view::{DataPacketView, FrameView, PacketView, SlotView};
 }
 
 #[cfg(test)]

@@ -15,8 +15,52 @@ use ask_wire::packet::{
     AaRegion, AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple,
     PacketLayout, SeqNo, TaskId,
 };
+use ask_wire::view::{FrameView, PacketView};
 use bytes::Bytes;
 use std::sync::Arc;
+
+/// The borrowed-view parser must agree with the full materializing decoder
+/// on *every* input: same accept/reject verdict, the same typed error on
+/// reject, and on accept the same envelope fields, the same packet after
+/// materialization, and — for data frames — the same header fields and
+/// `(key, value)` pairs read slot by slot straight off the wire bytes.
+fn assert_view_agrees_with_decode(bytes: Bytes) {
+    match (FrameView::parse(bytes.clone()), decode_envelope(bytes)) {
+        (Err(view_err), Err(dec_err)) => {
+            assert_eq!(view_err, dec_err, "view and decoder reject differently");
+        }
+        (Ok(view), Ok(env)) => {
+            assert_eq!(view.src(), env.src);
+            assert_eq!(view.dst(), env.dst);
+            assert_eq!(view.epoch(), env.epoch);
+            assert_eq!(view.flags(), env.flags);
+            if let (PacketView::Data(d), AskPacket::Data(p)) = (view.packet(), &env.packet) {
+                assert_eq!(d.task(), p.task);
+                assert_eq!(d.channel(), p.channel);
+                assert_eq!(d.seq(), p.seq);
+                assert_eq!(d.bitmap(), p.bitmap());
+                assert_eq!(d.occupied(), p.occupied());
+                let mut seen = 0usize;
+                for slot in d.slots() {
+                    let tuple = p.slots[slot.index()]
+                        .as_ref()
+                        .expect("view yields only occupied slots");
+                    assert_eq!(slot.key(), tuple.key, "slot {} key", slot.index());
+                    assert_eq!(slot.value(), tuple.value, "slot {} value", slot.index());
+                    assert_eq!(slot.key_len(), tuple.key.len());
+                    seen += 1;
+                }
+                assert_eq!(seen, p.occupied(), "view must visit every occupied slot");
+            }
+            assert_eq!(view.materialize(), env, "materialized view diverges");
+        }
+        (view, dec) => panic!(
+            "accept/reject verdicts diverge: view={:?} decode={:?}",
+            view.map(|v| v.materialize()),
+            dec,
+        ),
+    }
+}
 
 /// Tiny deterministic PRNG (splitmix64) so the corpus needs no rand dep.
 struct Mix(u64);
@@ -156,7 +200,9 @@ fn every_envelope_truncation_is_an_error() {
         assert_eq!(decode_envelope(bytes.clone()), Ok(env));
         for cut in 0..bytes.len() {
             assert!(decode_envelope(bytes.slice(..cut)).is_err());
+            assert_view_agrees_with_decode(bytes.slice(..cut));
         }
+        assert_view_agrees_with_decode(bytes);
     }
 }
 
@@ -169,11 +215,23 @@ fn every_single_bit_flip_in_an_envelope_is_caught_by_the_crc() {
             for bit in 0..8 {
                 let mut flipped = bytes.to_vec();
                 flipped[byte_ix] ^= 1 << bit;
+                let flipped = Bytes::from(flipped);
                 assert!(
-                    decode_envelope(Bytes::from(flipped)).is_err(),
+                    decode_envelope(flipped.clone()).is_err(),
                     "flipping bit {bit} of byte {byte_ix} in {packet} must be rejected",
                 );
+                assert_view_agrees_with_decode(flipped);
             }
+        }
+    }
+}
+
+#[test]
+fn view_accessors_agree_with_decode_on_every_valid_frame() {
+    for layout in layouts() {
+        for packet in corpus(&layout) {
+            let bytes = encode_envelope(&Envelope::new(2, 7, packet), &layout);
+            assert_view_agrees_with_decode(bytes);
         }
     }
 }
@@ -224,6 +282,7 @@ fn random_byte_soup_never_panics_either_decoder() {
             buf[0] = (rng.next() % 12) as u8;
         }
         let _ = decode(Bytes::from(buf.clone()));
-        let _ = decode_envelope(Bytes::from(buf));
+        let _ = decode_envelope(Bytes::from(buf.clone()));
+        assert_view_agrees_with_decode(Bytes::from(buf));
     }
 }
