@@ -95,6 +95,15 @@ pub struct AskConfig {
     /// on the wire; this escape hatch exists for differential testing and
     /// can also be forced at runtime with `ASK_SWITCH_SCALAR=1`.
     pub switch_scalar: bool,
+    /// Forces the host daemons onto the legacy materializing (scalar)
+    /// receive path: every inbound frame is decoded into owned packets
+    /// through the pool and residual tuples merge via materialized keys,
+    /// instead of the zero-materialization
+    /// [`ask_wire::view::FrameView`] ingest with borrowed slot reads. The
+    /// two paths are byte-identical on the wire; this escape hatch exists
+    /// for differential testing and can also be forced at runtime with
+    /// `ASK_HOST_SCALAR=1`.
+    pub host_scalar: bool,
     /// After this many retransmissions of a single packet the sender
     /// declares the aggregation path suspect (dead or restarting switch) and
     /// enters degraded pass-through mode: data packets are stamped
@@ -128,6 +137,7 @@ impl AskConfig {
             backoff_cap: SimDuration::from_micros(100).saturating_mul(64),
             backoff_jitter_permille: 0,
             switch_scalar: false,
+            host_scalar: false,
             escalate_after: None,
         }
     }

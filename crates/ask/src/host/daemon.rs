@@ -8,6 +8,7 @@ use crate::host::backoff::{splitmix64, BackoffPolicy};
 use crate::host::congestion::CongestionWindow;
 use crate::host::packetizer::{Packetizer, PendingStream};
 use crate::host::receiver::ReceiverWindow;
+use crate::host::table::TaskTable;
 use crate::host::trace::{TraceEvent, TraceLog};
 use crate::host::window::SenderWindow;
 use crate::stats::{burst_bucket, HostStats};
@@ -15,13 +16,14 @@ use crate::switch::aggregator::Observation;
 use ask_simnet::frame::{Frame, NodeId};
 use ask_simnet::network::{Context, Node};
 use ask_simnet::time::{SimDuration, SimTime};
-use ask_wire::codec::{decode_envelope_pooled, encode_envelope_parts, FLAG_NO_AGGREGATE};
+use ask_wire::codec::{decode_envelope_pooled, encode_envelope_parts, Envelope, FLAG_NO_AGGREGATE};
 use ask_wire::pool::PacketPool;
 use ask_wire::constants::PACKET_OVERHEAD;
 use ask_wire::key::Key;
 use ask_wire::packet::{
     AggregateOp, AskPacket, ChannelId, ControlMsg, DataPacket, FetchScope, KvTuple, SeqNo, TaskId,
 };
+use ask_wire::view::{DataPacketView, FrameView, PacketView};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -133,7 +135,7 @@ struct RecvTask {
     /// `Some(true)` once a region is granted, `Some(false)` on deny
     /// (host-only fallback), `None` while the controller RPC is in flight.
     ina: Option<bool>,
-    residual: FastMap<Key, u32>,
+    residual: TaskTable,
     fins: HashSet<u32>,
     packets_since_swap: u64,
     fetch_seq: u32,
@@ -194,6 +196,19 @@ pub struct AskDaemon {
     /// `Cell` so the hot send path can add to it while channel state is
     /// mutably borrowed.
     packetize_ns: std::cell::Cell<u64>,
+    /// False on the default zero-materialization receive path; true when
+    /// [`AskConfig::host_scalar`](crate::config::AskConfig) or
+    /// `ASK_HOST_SCALAR=1` forces the legacy materializing path.
+    scalar: bool,
+    /// First-delivery data views awaiting a grouped residual merge (view
+    /// path only). Each deferred view is a refcount on the frame bytes;
+    /// flushing groups consecutive same-task views so task resolution
+    /// amortizes over a burst. Always drained before any state that reads
+    /// residual tables is touched and at the end of every delivery.
+    merge_batch: Vec<DataPacketView>,
+    /// Scratch for batched receive-window observations (view path only),
+    /// kept across bursts to avoid reallocating.
+    obs_scratch: Vec<Observation>,
 }
 
 impl AskDaemon {
@@ -203,6 +218,10 @@ impl AskDaemon {
         let packetizer = Packetizer::new(config.layout, config.long_kv_batch);
         let trace = TraceLog::new(config.trace_capacity);
         let backoff = BackoffPolicy::from_config(&config, 0);
+        let scalar = config.host_scalar
+            || std::env::var("ASK_HOST_SCALAR")
+                .map(|v| v != "0")
+                .unwrap_or(false);
         AskDaemon {
             config,
             switch,
@@ -225,6 +244,9 @@ impl AskDaemon {
             backoff,
             time_phases: false,
             packetize_ns: std::cell::Cell::new(0),
+            scalar,
+            merge_batch: Vec::new(),
+            obs_scratch: Vec::new(),
         }
     }
 
@@ -307,7 +329,7 @@ impl AskDaemon {
                 senders: senders.iter().copied().collect(),
                 op,
                 ina: None,
-                residual: FastMap::default(),
+                residual: TaskTable::new(),
                 fins: HashSet::new(),
                 packets_since_swap: 0,
                 fetch_seq: 0,
@@ -417,6 +439,12 @@ impl AskDaemon {
     /// The highest switch epoch this daemon has synchronized against.
     pub fn known_epoch(&self) -> u32 {
         self.known_epoch
+    }
+
+    /// True when this daemon receives through the legacy materializing
+    /// (scalar) path instead of the zero-materialization view path.
+    pub fn is_scalar(&self) -> bool {
+        self.scalar
     }
 
     /// True while the daemon is in degraded no-aggregate pass-through mode.
@@ -590,10 +618,7 @@ impl AskDaemon {
             };
             let op = rt.op;
             for t in tuples {
-                rt.residual
-                    .entry(t.key)
-                    .and_modify(|v| *v = op.combine(*v, t.value))
-                    .or_insert(t.value);
+                rt.residual.merge(&t.key, t.value, op);
             }
             rt.fins.insert(receiver);
             self.check_completion(task, ctx);
@@ -867,10 +892,7 @@ impl AskDaemon {
         let op = rt.op;
         let mut n = 0u64;
         for t in tuples {
-            rt.residual
-                .entry(t.key)
-                .and_modify(|v| *v = op.combine(*v, t.value))
-                .or_insert(t.value);
+            rt.residual.merge(&t.key, t.value, op);
             n += 1;
         }
         self.stats.tuples_host_aggregated += n;
@@ -984,7 +1006,7 @@ impl AskDaemon {
             debug_assert!(rt.result.is_none());
             rt.result = Some(TaskResult {
                 task,
-                entries: std::mem::take(&mut rt.residual).into_iter().collect(),
+                entries: rt.residual.take_entries(),
                 completed_at: now,
             });
             rt.ina == Some(true)
@@ -1161,19 +1183,15 @@ impl AskDaemon {
         // Everything leaves through the uplink to the switch.
         let _ = ctx.send(self.switch, Frame::with_wire_bytes(bytes, wire));
     }
-}
 
-impl Node for AskDaemon {
-    fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.ensure_init(ctx);
-    }
+    // ------------------------------------------------------------------
+    // Scalar (materializing) receive path — the escape hatch, and the
+    // fallback for frames the view path cannot serve.
+    // ------------------------------------------------------------------
 
-    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
-        self.ensure_init(ctx);
-        let ecn = frame.ecn_marked();
-        let Ok(envelope) = decode_envelope_pooled(frame.into_payload(), &mut self.pool) else {
-            return;
-        };
+    /// The scalar receive path for one decoded envelope: epoch gate, then
+    /// packet dispatch.
+    fn handle_envelope_scalar(&mut self, ecn: bool, envelope: Envelope, ctx: &mut Context<'_>) {
         let src = envelope.src;
         // Epoch gate: a newer epoch means the switch restarted — resync
         // fully before processing this frame; an older epoch is a leftover
@@ -1192,7 +1210,20 @@ impl Node for AskDaemon {
                 return;
             }
         }
-        match envelope.packet {
+        self.handle_packet_scalar(src, ecn, envelope.packet, ctx);
+    }
+
+    /// Post-epoch-gate handling of one materialized packet. Shared by the
+    /// scalar path and the view path's materializing fallback (long-kv
+    /// bodies, foreign-layout data).
+    fn handle_packet_scalar(
+        &mut self,
+        src: u32,
+        ecn: bool,
+        packet: AskPacket,
+        ctx: &mut Context<'_>,
+    ) {
+        match packet {
             AskPacket::Ack { channel, seq, ece } => {
                 if self.degraded && src == self.switch.index() as u32 {
                     // The switch is absorbing again; resume aggregation.
@@ -1294,7 +1325,7 @@ impl Node for AskDaemon {
             AskPacket::Control(ControlMsg::TaskAnnounce { task, receiver }) => {
                 self.on_announce(task, receiver, ctx)
             }
-            // The epoch gate above already did all the work for a notify.
+            // The epoch gate already did all the work for a notify.
             AskPacket::Control(ControlMsg::EpochNotify { .. }) => {}
             // Packets a daemon never receives (switch-bound kinds).
             AskPacket::Swap { .. }
@@ -1305,10 +1336,395 @@ impl Node for AskDaemon {
         }
     }
 
+    /// The materializing burst path: the whole burst is decoded through the
+    /// pool up front — one pool drain per burst instead of interleaving
+    /// decode with handling — then handled in arrival order. Only
+    /// pool-counter timing differs from per-frame decode; every protocol
+    /// action is identical.
+    fn on_frames_scalar(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        let mut decoded: Vec<(bool, Envelope)> = Vec::with_capacity(burst.len());
+        for (_, frame) in burst.drain(..) {
+            let ecn = frame.ecn_marked();
+            if let Ok(env) = decode_envelope_pooled(frame.into_payload(), &mut self.pool) {
+                decoded.push((ecn, env));
+            }
+        }
+        for (ecn, env) in decoded {
+            self.handle_envelope_scalar(ecn, env, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Zero-materialization receive path (the default).
+    //
+    // Inbound frames parse once into borrowed `FrameView`s; matching-layout
+    // data packets and fetch replies are consumed straight from the wire
+    // bytes with zero pool traffic. First-delivery data views are deferred
+    // into `merge_batch` and merged grouped-by-task — all aggregation
+    // operators are commutative and the merges emit nothing, so deferral
+    // cannot change a single sent byte. Everything that reads residual
+    // state (fins, fetch replies, control, epoch resync, fallbacks)
+    // flushes the batch first.
+    // ------------------------------------------------------------------
+
+    /// Epoch gate for a parsed view; `false` means drop the frame. Mirrors
+    /// the scalar gate; a newer epoch flushes deferred merges before the
+    /// resync wipes the tables they target, and a stale frame has no
+    /// materialized body to recycle.
+    fn admit_view(&mut self, view: &FrameView, ctx: &mut Context<'_>) -> bool {
+        if view.epoch() == self.known_epoch {
+            return true;
+        }
+        if view.epoch() > self.known_epoch {
+            self.flush_merge_batch();
+            self.resync_to_epoch(view.epoch(), ctx);
+            true
+        } else {
+            self.stats.stale_epoch_drops += 1;
+            false
+        }
+    }
+
+    /// Protocol actions for one matching-layout data view whose
+    /// receive-window observation is already known. Packet-IO CPU is
+    /// charged by the caller (per frame on the single path, per run on the
+    /// burst path).
+    fn data_view_action(
+        &mut self,
+        src: u32,
+        ecn: bool,
+        d: &DataPacketView,
+        obs: Observation,
+        ctx: &mut Context<'_>,
+    ) {
+        match obs {
+            Observation::Stale => {}
+            Observation::Duplicate => {
+                self.stats.duplicates_dropped += 1;
+                self.trace.record(
+                    ctx.now(),
+                    TraceEvent::DuplicateDropped {
+                        channel: d.channel(),
+                        seq: d.seq(),
+                    },
+                );
+                self.reply_ack(src, d.channel(), d.seq(), ecn, ctx);
+            }
+            Observation::First => {
+                self.stats.packets_received += 1;
+                self.trace.record(
+                    ctx.now(),
+                    TraceEvent::Received {
+                        channel: d.channel(),
+                        seq: d.seq(),
+                    },
+                );
+                let task = d.task();
+                self.stats.host_pure_view += 1;
+                self.merge_batch.push(d.clone());
+                self.reply_ack(src, d.channel(), d.seq(), ecn, ctx);
+                if let Some(rt) = self.recv_tasks.get_mut(&task) {
+                    rt.packets_since_swap += 1;
+                }
+                self.maybe_swap(task, ctx);
+            }
+        }
+    }
+
+    /// Applies every deferred first-delivery data view to its task's
+    /// residual table, resolving each task once per consecutive same-task
+    /// run. Counter and CPU totals match the scalar path exactly; only the
+    /// (unobservable) merge timing moves.
+    fn flush_merge_batch(&mut self) {
+        if self.merge_batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.merge_batch);
+        let mut merged = 0u64;
+        let mut orphaned = 0u64;
+        let mut i = 0;
+        while i < batch.len() {
+            let task = batch[i].task();
+            let mut j = i;
+            while j < batch.len() && batch[j].task() == task {
+                j += 1;
+            }
+            match self.recv_tasks.get_mut(&task) {
+                Some(rt) => {
+                    let op = rt.op;
+                    for d in &batch[i..j] {
+                        for s in d.slots() {
+                            rt.residual.merge_hashed(s.hash64(), s.key_bytes(), s.value(), op);
+                            merged += 1;
+                        }
+                    }
+                }
+                None => {
+                    for d in &batch[i..j] {
+                        orphaned += d.occupied() as u64;
+                    }
+                }
+            }
+            i = j;
+        }
+        self.stats.tuples_host_aggregated += merged;
+        self.cpu_busy += self.config.cpu_per_tuple.saturating_mul(merged);
+        self.orphan_tuples += orphaned;
+        // Keep the batch's capacity for the next burst.
+        self.merge_batch = batch;
+        self.merge_batch.clear();
+    }
+
+    /// Merges a fetch reply's entries straight off the frame bytes — no
+    /// `Arc<Vec<KvTuple>>` is ever built for the body. State-machine
+    /// behavior mirrors [`AskDaemon::on_fetch_reply`] exactly.
+    fn on_fetch_reply_view(
+        &mut self,
+        task: TaskId,
+        fetch_seq: u32,
+        entry_count: u32,
+        view: &FrameView,
+        ctx: &mut Context<'_>,
+    ) {
+        let Some(rt) = self.recv_tasks.get_mut(&task) else {
+            return;
+        };
+        let FetchState::Pending {
+            fetch_seq: pending,
+            is_final,
+            ..
+        } = rt.fetch
+        else {
+            return; // stray or already-handled reply
+        };
+        if fetch_seq != pending {
+            return;
+        }
+        rt.fetch = FetchState::Idle;
+        let n = entry_count as u64;
+        self.trace
+            .record(ctx.now(), TraceEvent::FetchMerged { task, entries: n });
+        self.stats.tuples_fetched += n;
+        self.stats.host_pure_view += 1;
+        let rt = self.recv_tasks.get_mut(&task).expect("task present");
+        let op = rt.op;
+        for e in view.entries().expect("fetch replies carry entries") {
+            rt.residual.merge_hashed(e.hash64(), e.key_bytes(), e.value(), op);
+        }
+        self.stats.tuples_host_aggregated += n;
+        self.cpu_busy += self.config.cpu_per_tuple.saturating_mul(n);
+        let rt = self.recv_tasks.get_mut(&task).expect("task present");
+        let want_final = rt.want_final;
+        if is_final {
+            self.complete(task, ctx);
+        } else if want_final {
+            self.begin_final_fetch(task, ctx);
+        }
+    }
+
+    /// Handles one parsed frame on the view path. Deferred merges are not
+    /// flushed on exit — the caller flushes after the frame (or burst).
+    fn on_frame_view(&mut self, ecn: bool, view: &FrameView, ctx: &mut Context<'_>) {
+        if !self.admit_view(view, ctx) {
+            return;
+        }
+        let src = view.src();
+        match view.packet() {
+            PacketView::Ack { channel, seq, ece } => {
+                if self.degraded && src == self.switch.index() as u32 {
+                    // The switch is absorbing again; resume aggregation.
+                    self.degraded = false;
+                }
+                self.on_ack(*channel, *seq, *ece, ctx)
+            }
+            PacketView::Data(d) => {
+                if d.matches_layout(&self.config.layout) {
+                    self.cpu_busy += self.config.cpu_per_packet;
+                    let obs = self.observe(d.channel(), d.seq());
+                    self.data_view_action(src, ecn, d, obs, ctx);
+                } else {
+                    // Foreign layout: materialize through the pool and take
+                    // the scalar data arm.
+                    self.flush_merge_batch();
+                    self.stats.host_view_fallbacks += 1;
+                    let envelope = view.materialize_pooled(&mut self.pool);
+                    self.handle_packet_scalar(src, ecn, envelope.packet, ctx);
+                }
+            }
+            PacketView::LongKv { .. } => {
+                // Long-key bypass bodies merge as owned tuples; materialize
+                // through the pool and take the scalar long-kv arm.
+                self.flush_merge_batch();
+                self.stats.host_view_fallbacks += 1;
+                let envelope = view.materialize_pooled(&mut self.pool);
+                self.handle_packet_scalar(src, ecn, envelope.packet, ctx);
+            }
+            PacketView::Fin { task, channel, seq } => {
+                self.flush_merge_batch();
+                self.cpu_busy += self.config.cpu_per_packet;
+                match self.observe(*channel, *seq) {
+                    Observation::Stale => {}
+                    Observation::Duplicate => {
+                        self.reply_ack(src, *channel, *seq, ecn, ctx);
+                    }
+                    Observation::First => {
+                        let sender_host = channel.host();
+                        self.reply_ack(src, *channel, *seq, ecn, ctx);
+                        if let Some(rt) = self.recv_tasks.get_mut(task) {
+                            rt.fins.insert(sender_host);
+                        }
+                        self.check_completion(*task, ctx);
+                    }
+                }
+            }
+            PacketView::FetchReply {
+                task,
+                fetch_seq,
+                entry_count,
+            } => {
+                self.flush_merge_batch();
+                self.on_fetch_reply_view(*task, *fetch_seq, *entry_count, view, ctx);
+            }
+            PacketView::Control(ControlMsg::RegionGrant { task, .. }) => {
+                self.flush_merge_batch();
+                self.on_region_reply(*task, true, ctx)
+            }
+            PacketView::Control(ControlMsg::RegionDeny { task }) => {
+                self.flush_merge_batch();
+                self.on_region_reply(*task, false, ctx)
+            }
+            PacketView::Control(ControlMsg::TaskAnnounce { task, receiver }) => {
+                // A co-located announce merges and may complete the task.
+                self.flush_merge_batch();
+                self.on_announce(*task, *receiver, ctx)
+            }
+            // The epoch gate already did all the work for a notify.
+            PacketView::Control(ControlMsg::EpochNotify { .. }) => {}
+            // Packets a daemon never receives (switch-bound kinds).
+            PacketView::Swap { .. }
+            | PacketView::FetchRequest { .. }
+            | PacketView::Control(
+                ControlMsg::RegionRequest { .. } | ControlMsg::RegionRelease { .. },
+            ) => {}
+        }
+    }
+
+    /// Ingests a run of same-channel, matching-layout data views from one
+    /// burst: the receive window resolves once for the whole run, every
+    /// sequence number is observed into the reusable scratch buffer,
+    /// packet-IO CPU is charged in one multiply, and the per-frame protocol
+    /// actions replay in arrival order.
+    fn ingest_data_run(&mut self, run: &[(bool, FrameView)], ctx: &mut Context<'_>) {
+        debug_assert!(!run.is_empty());
+        let mut obs = std::mem::take(&mut self.obs_scratch);
+        obs.clear();
+        {
+            let PacketView::Data(first) = run[0].1.packet() else {
+                unreachable!("runs contain only data views");
+            };
+            let w = self.config.window;
+            let window = self
+                .recv_windows
+                .entry(first.channel())
+                .or_insert_with(|| ReceiverWindow::new(w));
+            for (_, view) in run {
+                let PacketView::Data(d) = view.packet() else {
+                    unreachable!("runs contain only data views");
+                };
+                obs.push(window.observe(d.seq().0));
+            }
+        }
+        self.cpu_busy += self.config.cpu_per_packet.saturating_mul(run.len() as u64);
+        for ((ecn, view), ob) in run.iter().zip(obs.iter()) {
+            let PacketView::Data(d) = view.packet() else {
+                unreachable!("runs contain only data views");
+            };
+            self.data_view_action(view.src(), *ecn, d, *ob, ctx);
+        }
+        self.obs_scratch = obs;
+    }
+
+    /// The zero-materialization burst path: the burst parses once into
+    /// borrowed views, consecutive same-channel data frames ingest as runs,
+    /// and the deferred merge batch drains exactly once at the end.
+    fn on_frames_view(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        let mut frames: Vec<(bool, FrameView)> = Vec::with_capacity(burst.len());
+        for (_, frame) in burst.drain(..) {
+            let ecn = frame.ecn_marked();
+            if let Ok(view) = FrameView::parse(frame.into_payload()) {
+                frames.push((ecn, view));
+            }
+        }
+        let mut i = 0;
+        while i < frames.len() {
+            let view = &frames[i].1;
+            // A frame joins a run only when it needs no epoch action and
+            // aggregates in place; everything else dispatches singly (and
+            // may resync, ending the grouping epoch).
+            let run_channel = match view.packet() {
+                PacketView::Data(d)
+                    if view.epoch() == self.known_epoch
+                        && d.matches_layout(&self.config.layout) =>
+                {
+                    Some(d.channel())
+                }
+                _ => None,
+            };
+            let Some(channel) = run_channel else {
+                self.on_frame_view(frames[i].0, &frames[i].1, ctx);
+                i += 1;
+                continue;
+            };
+            let mut j = i + 1;
+            while j < frames.len() {
+                let v = &frames[j].1;
+                match v.packet() {
+                    PacketView::Data(d)
+                        if v.epoch() == self.known_epoch
+                            && d.matches_layout(&self.config.layout)
+                            && d.channel() == channel =>
+                    {
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            self.ingest_data_run(&frames[i..j], ctx);
+            i = j;
+        }
+        self.flush_merge_batch();
+    }
+}
+
+impl Node for AskDaemon {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+    }
+
+    fn on_frame(&mut self, _from: NodeId, frame: Frame, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
+        let ecn = frame.ecn_marked();
+        if self.scalar {
+            let Ok(envelope) = decode_envelope_pooled(frame.into_payload(), &mut self.pool) else {
+                return;
+            };
+            self.handle_envelope_scalar(ecn, envelope, ctx);
+        } else {
+            let Ok(view) = FrameView::parse(frame.into_payload()) else {
+                return;
+            };
+            self.on_frame_view(ecn, &view, ctx);
+            self.flush_merge_batch();
+        }
+    }
+
     fn on_frames(&mut self, burst: &mut Vec<(NodeId, Frame)>, ctx: &mut Context<'_>) {
+        self.ensure_init(ctx);
         self.stats.burst_len[burst_bucket(burst.len() as u64)] += 1;
-        for (from, frame) in burst.drain(..) {
-            self.on_frame(from, frame, ctx);
+        if self.scalar {
+            self.on_frames_scalar(burst, ctx);
+        } else {
+            self.on_frames_view(burst, ctx);
         }
     }
 

@@ -5,6 +5,7 @@ pub mod congestion;
 pub mod daemon;
 pub mod packetizer;
 pub mod receiver;
+pub mod table;
 pub mod trace;
 pub mod window;
 
@@ -15,4 +16,5 @@ pub use trace::{TraceEvent, TraceLog};
 pub use daemon::{AskDaemon, ChannelSnapshot, TaskResult, CHANNEL_STRIDE};
 pub use packetizer::{PacketizedStream, Packetizer, PendingStream};
 pub use receiver::ReceiverWindow;
+pub use table::TaskTable;
 pub use window::{InFlight, SenderWindow};

@@ -131,6 +131,16 @@ pub struct HostStats {
     /// after exhausting [`crate::config::AskConfig::escalate_after`]
     /// retransmissions.
     pub degraded_entries: u64,
+    /// Inbound payload frames the receive path consumed straight from wire
+    /// bytes — first-delivery data packets merged via borrowed slot views
+    /// and fetch replies merged via borrowed entry views — with zero pool
+    /// traffic (the host-side mirror of the switch's pure-absorb counter).
+    /// Always zero on the scalar receive path.
+    pub host_pure_view: u64,
+    /// Inbound frames the view receive path had to materialize through the
+    /// pool after parsing (long-kv bypass bodies, layout-mismatched data).
+    /// Always zero on the scalar receive path.
+    pub host_view_fallbacks: u64,
     /// Histogram of delivery burst lengths handed to the daemon by the
     /// simulator's burst drain (log₂ buckets, see [`burst_bucket`]).
     pub burst_len: [u64; BURST_BUCKETS],
@@ -153,6 +163,8 @@ impl HostStats {
         self.pool_misses += other.pool_misses;
         self.stale_epoch_drops += other.stale_epoch_drops;
         self.degraded_entries += other.degraded_entries;
+        self.host_pure_view += other.host_pure_view;
+        self.host_view_fallbacks += other.host_view_fallbacks;
         for (a, b) in self.burst_len.iter_mut().zip(other.burst_len.iter()) {
             *a += b;
         }
@@ -189,17 +201,22 @@ mod tests {
         let mut h = HostStats {
             pool_hits: 10,
             pool_misses: 1,
+            host_pure_view: 3,
             ..Default::default()
         };
         h.burst_len[1] = 4;
         let mut h2 = HostStats {
             pool_hits: 5,
+            host_pure_view: 2,
+            host_view_fallbacks: 7,
             ..Default::default()
         };
         h2.burst_len[1] = 6;
         h.merge(&h2);
         assert_eq!(h.pool_hits, 15);
         assert_eq!(h.pool_misses, 1);
+        assert_eq!(h.host_pure_view, 5);
+        assert_eq!(h.host_view_fallbacks, 7);
         assert_eq!(h.burst_len[1], 10);
     }
 

@@ -189,6 +189,48 @@ mod tests {
     }
 
     #[test]
+    fn host_view_path_receives_without_receiver_pool_traffic() {
+        if std::env::var("ASK_HOST_SCALAR").map(|v| v != "0").unwrap_or(false) {
+            // The scalar escape hatch is forced; this invariant is
+            // view-path-only by construction.
+            return;
+        }
+        // The host-side mirror of the switch pure-absorb invariant: with
+        // all-short keys on the default layout, every frame the receiver
+        // sees (forwarded data, fins, the final fetch reply) is consumed
+        // straight from wire bytes — first-delivery data merges via
+        // borrowed slot views into the open-addressed task table, fetch
+        // replies via borrowed entry views — so its packet pool must see
+        // zero takes and the pure-view counter must be hot.
+        let mut cfg = AskConfig::paper_default();
+        cfg.layout = PacketLayout::short_only(16);
+        cfg.data_channels = 4;
+        cfg.region_aggregators = cfg.aggregators_per_aa;
+        let run_cfg = AskRun {
+            tasks: 4,
+            ..AskRun::paper(cfg)
+        };
+        let stream = uniform_stream(11, 10_000, 80_000);
+        let report = run_ask(&run_cfg, vec![stream]);
+        assert!(
+            report.receiver.host_pure_view > 0,
+            "view-consumed frames must be counted"
+        );
+        assert_eq!(
+            report.receiver.host_view_fallbacks, 0,
+            "short-key traffic on the native layout needs no materializing fallback"
+        );
+        assert_eq!(
+            report.receiver.pool_hits + report.receiver.pool_misses,
+            0,
+            "view-path receiver must never touch the packet pool \
+             ({} hits / {} misses)",
+            report.receiver.pool_hits,
+            report.receiver.pool_misses,
+        );
+    }
+
+    #[test]
     fn sender_pool_is_warm_from_the_first_window() {
         // A stream barely larger than one send window: there is no steady
         // state to amortize into, so a >90% sender hit rate here can only

@@ -121,6 +121,10 @@ pub struct Scenario {
     /// the zero-materialization view path. The two must be byte-identical;
     /// differential properties run every scenario under both settings.
     pub switch_scalar: bool,
+    /// Forces the host daemons onto the legacy materializing receive path
+    /// instead of the zero-materialization view ingest. Same differential
+    /// contract as `switch_scalar`.
+    pub host_scalar: bool,
 }
 
 impl Scenario {
@@ -145,6 +149,7 @@ impl Scenario {
             restart_mid_run: false,
             crash: None,
             switch_scalar: false,
+            host_scalar: false,
         }
     }
 
@@ -156,6 +161,7 @@ impl Scenario {
         cfg.region_aggregators = self.region_aggregators;
         cfg.absorption_audit = true;
         cfg.switch_scalar = self.switch_scalar;
+        cfg.host_scalar = self.host_scalar;
         cfg
     }
 

@@ -1,0 +1,101 @@
+//! Differential property: the host daemons' zero-materialization view
+//! ingest and the legacy materializing (scalar) receive path are observably
+//! identical.
+//!
+//! Every random scenario — loss × duplication × reorder × corruption,
+//! optionally with a mid-run switch crash — is executed twice, once per
+//! host receive path, and the two [`conformance::RunReport`]s must be equal
+//! field for field: completion time, packet/retransmission counts, dedup
+//! hits, switch vs host aggregation splits, epochs, and stale-epoch drops.
+//! The host path decides when ACKs, swaps, and fetches go out and what the
+//! final aggregate contains, so report equality pins the wire behaviour of
+//! the borrowed-view ingest and the open-addressed residual tables, not
+//! just the end result.
+
+use ask_wire::packet::AggregateOp;
+use conformance::{CrashSpec, FaultSpec, Scenario};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = AggregateOp> {
+    prop_oneof![
+        Just(AggregateOp::Sum),
+        Just(AggregateOp::Max),
+        Just(AggregateOp::Min),
+    ]
+}
+
+proptest! {
+    // Each case is two full end-to-end simulations; keep the count modest
+    // (raise with PROPTEST_CASES for deep soaks).
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// View ingest vs scalar receive path under random fault mixes:
+    /// identical reports, bit for bit.
+    #[test]
+    fn prop_host_view_path_equivalence(
+        seed in any::<u64>(),
+        senders in 1usize..4,
+        colocated in any::<bool>(),
+        tuples in 50usize..200,
+        op in op_strategy(),
+        loss_permille in 0u64..200,
+        dup_permille in 0u64..250,
+        reorder_permille in 0u64..500,
+        corrupt_permille in 0u64..30,
+        window in 4usize..16,
+        swap_threshold in prop_oneof![Just(0u64), Just(8u64), Just(32u64)],
+    ) {
+        let mut scenario = Scenario::base(seed);
+        scenario.senders = senders;
+        scenario.colocated_sender = colocated;
+        scenario.tuples_per_sender = tuples;
+        scenario.op = op;
+        scenario.swap_threshold = swap_threshold;
+        scenario.window = window;
+        scenario.faults = FaultSpec {
+            loss: loss_permille as f64 / 1000.0,
+            duplication: dup_permille as f64 / 1000.0,
+            reorder: reorder_permille as f64 / 1000.0,
+            reorder_jitter_us: 10,
+            corruption: corrupt_permille as f64 / 1000.0,
+        };
+        let view_report = scenario.run();
+        let mut scalar = scenario.clone();
+        scalar.host_scalar = true;
+        let scalar_report = scalar.run();
+        prop_assert_eq!(view_report, scalar_report);
+    }
+
+    /// The equivalence survives a switch crash-restart: the epoch resync
+    /// flushes deferred merges, wipes the open-addressed tables (arena
+    /// included), and replays — and must land on the same nanosecond under
+    /// both host receive paths.
+    #[test]
+    fn prop_host_view_path_equivalence_under_crash(
+        seed in any::<u64>(),
+        senders in 1usize..3,
+        op in op_strategy(),
+        loss_permille in 0u64..150,
+        reorder_permille in 0u64..400,
+        down_at_permille in 0u32..1000,
+        outage_us in 30u64..400,
+    ) {
+        let mut scenario = Scenario::base(seed);
+        scenario.senders = senders;
+        scenario.tuples_per_sender = 120;
+        scenario.op = op;
+        scenario.faults = FaultSpec {
+            loss: loss_permille as f64 / 1000.0,
+            duplication: 0.0,
+            reorder: reorder_permille as f64 / 1000.0,
+            reorder_jitter_us: 10,
+            corruption: 0.0,
+        };
+        scenario.crash = Some(CrashSpec { down_at_permille, outage_us });
+        let view_report = scenario.run();
+        let mut scalar = scenario.clone();
+        scalar.host_scalar = true;
+        let scalar_report = scalar.run();
+        prop_assert_eq!(view_report, scalar_report);
+    }
+}

@@ -63,6 +63,7 @@ proptest! {
             restart_mid_run: restart,
             crash: None,
             switch_scalar: false,
+            host_scalar: false,
         };
         let report = scenario.run();
         prop_assert!(

@@ -185,6 +185,24 @@ pub struct SlotViews<'a> {
     offset: usize,
 }
 
+/// One `(key, value)` entry of a long-kv or fetch-reply body, read in place
+/// from frame bytes. Produced by [`FrameView::entries`]; the bytes were
+/// validated during [`FrameView::parse`], so accessors never fail.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryView<'a> {
+    key: &'a [u8],
+    value: u32,
+}
+
+/// Iterator over the validated entries of a long-kv or fetch-reply body, in
+/// wire order. See [`FrameView::entries`].
+#[derive(Debug)]
+pub struct EntryViews<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    remaining: u32,
+}
+
 impl FrameView {
     /// Parses and fully validates an encoded envelope without materializing
     /// the packet. Accept/reject behavior — including the specific error —
@@ -436,6 +454,30 @@ impl FrameView {
         &self.bytes
     }
 
+    /// Iterates the `(key, value)` entries of a long-kv or fetch-reply body
+    /// straight off the frame bytes — the host daemon's zero-materialization
+    /// fetch-merge path. Entries were validated during [`FrameView::parse`];
+    /// `None` for packet kinds that carry no entry list.
+    pub fn entries(&self) -> Option<EntryViews<'_>> {
+        // Body layout after the envelope header and kind byte:
+        // long-kv     task(4) channel(4) seq(8)  count(4) entries…
+        // fetch-reply task(4) fetch_seq(4)       count(4) entries…
+        let (offset, remaining) = match self.packet {
+            PacketView::LongKv { entry_count, .. } => {
+                (ENVELOPE_HEADER_BYTES + 1 + 16 + 4, entry_count)
+            }
+            PacketView::FetchReply { entry_count, .. } => {
+                (ENVELOPE_HEADER_BYTES + 1 + 8 + 4, entry_count)
+            }
+            _ => return None,
+        };
+        Some(EntryViews {
+            bytes: &self.bytes,
+            offset,
+            remaining,
+        })
+    }
+
     /// Materializes the full owned [`Envelope`] without re-checksumming —
     /// the view's parse already validated the CRC and every field.
     ///
@@ -653,6 +695,12 @@ impl SlotView<'_> {
         self.key_len
     }
 
+    /// The key bytes without padding — exactly [`Key::as_bytes`] of the
+    /// materialized key.
+    pub fn key_bytes(&self) -> &'_ [u8] {
+        &self.padded[..self.key_len]
+    }
+
     /// The slot's value.
     pub fn value(&self) -> u32 {
         self.value
@@ -674,6 +722,52 @@ impl SlotView<'_> {
     /// Materializes the key (fallback paths and tests).
     pub fn key(&self) -> Key {
         Key::from_validated_slice(&self.padded[..self.key_len])
+    }
+}
+
+impl<'a> Iterator for EntryViews<'a> {
+    type Item = EntryView<'a>;
+
+    fn next(&mut self) -> Option<EntryView<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let b = self.bytes;
+        let len = u16::from_be_bytes([b[self.offset], b[self.offset + 1]]) as usize;
+        let key = &b[self.offset + 2..self.offset + 2 + len];
+        let value = rd_u32(b, self.offset + 2 + len);
+        self.offset += 2 + len + 4;
+        Some(EntryView { key, value })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for EntryViews<'_> {}
+
+impl<'a> EntryView<'a> {
+    /// The entry's key bytes, exactly as on the wire (no padding).
+    pub fn key_bytes(&self) -> &'a [u8] {
+        self.key
+    }
+
+    /// The entry's value.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// The key's stable 64-bit hash — identical to [`Key::hash64`] of the
+    /// materialized key.
+    pub fn hash64(&self) -> u64 {
+        fnv1a(self.key)
+    }
+
+    /// Materializes the key (fallback paths and tests).
+    pub fn key(&self) -> Key {
+        Key::from_validated_slice(self.key)
     }
 }
 
@@ -801,6 +895,49 @@ mod tests {
             let view = FrameView::parse(bytes.clone()).unwrap();
             assert_eq!(view.materialize(), decode_envelope(bytes).unwrap());
         }
+    }
+
+    #[test]
+    fn entry_views_match_materialized_entries() {
+        let layout = PacketLayout::paper_default();
+        let entries = vec![
+            kv("a", 1),
+            kv("a-very-long-key-beyond-the-inline-cap-entirely", 7),
+            kv("mid", u32::MAX),
+        ];
+        let packets = vec![
+            AskPacket::LongKv {
+                task: TaskId(1),
+                channel: ChannelId(2),
+                seq: SeqNo(3),
+                entries: entries.clone(),
+            },
+            AskPacket::FetchReply {
+                task: TaskId(4),
+                fetch_seq: 5,
+                entries: std::sync::Arc::new(entries.clone()),
+            },
+        ];
+        for p in packets {
+            let bytes = encode_envelope_parts(1, 0, 0, 0, &p, &layout);
+            let view = FrameView::parse(bytes).unwrap();
+            let it = view.entries().expect("entry-bearing packet");
+            assert_eq!(it.len(), entries.len());
+            for (e, want) in it.zip(entries.iter()) {
+                assert_eq!(e.key_bytes(), want.key.as_bytes());
+                assert_eq!(e.value(), want.value);
+                assert_eq!(e.hash64(), want.key.hash64());
+                assert_eq!(e.key(), want.key);
+            }
+        }
+        // Entry-less kinds expose no iterator.
+        let ack = AskPacket::Ack {
+            channel: ChannelId(1),
+            seq: SeqNo(2),
+            ece: false,
+        };
+        let bytes = encode_envelope_parts(1, 0, 0, 0, &ack, &layout);
+        assert!(FrameView::parse(bytes).unwrap().entries().is_none());
     }
 
     #[test]
